@@ -1,0 +1,20 @@
+"""Figure 5.1 — measured vs emulated bit-fault-position distribution."""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_5_1
+from repro.experiments.reporting import format_figure
+
+
+def test_fig5_1_fault_distribution(benchmark):
+    figure = benchmark.pedantic(figure_5_1, rounds=1, iterations=1)
+    print_report(format_figure(figure))
+    measured = figure.series_named("Measured")
+    emulated = figure.series_named("Emulated")
+    # Both distributions are bimodal: the high-order band (top mantissa bits
+    # plus the sign bit) carries the majority of the mass, the exponent none.
+    for series in (measured, emulated):
+        pmf = [v[0] for v in series.values]
+        high_mass = sum(pmf[15:23]) + pmf[31]
+        exponent_mass = sum(pmf[23:31])
+        assert high_mass > 0.5
+        assert exponent_mass == 0.0

@@ -1,0 +1,32 @@
+"""Figure 6.1 — sorting success rate vs fault rate.
+
+Paper scale: 5-element arrays, 10,000 SGD iterations.  Here the sweep runs at
+a reduced scale (fewer trials / iterations) so the suite stays fast; the
+qualitative claim checked is the paper's: the robust SQS variant keeps
+sorting correctly at fault rates where it at least matches the conventional
+sort, which degrades as faults corrupt comparisons and element moves.
+"""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_1
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_1_sorting(benchmark, reduced_fault_rates):
+    figure = benchmark.pedantic(
+        figure_6_1,
+        kwargs={"trials": 3, "iterations": 4000, "fault_rates": reduced_fault_rates},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure, use_success_rate=True))
+    robust = figure.series_named("SGD+AS,SQS").success_rates()
+    plain = figure.series_named("SGD").success_rates()
+    base = figure.series_named("Base").success_rates()
+    # Robust sorting is exact fault-free and holds up through the low/moderate
+    # fault rates; the SQS variant dominates the plain 1/t variant (the
+    # paper's Figure 6.1 ordering).  At the extreme 20-50 % rates the reduced
+    # iteration budget is allowed to fall short of the paper's 100 %.
+    assert robust[0] == 1.0
+    assert all(r >= b - 1e-9 for r, b in zip(robust[:2], base[:2]))
+    assert sum(robust) >= sum(plain)

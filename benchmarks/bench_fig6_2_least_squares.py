@@ -1,0 +1,23 @@
+"""Figure 6.2 — least-squares relative error vs fault rate (SGD vs SVD baseline)."""
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_2
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_2_least_squares(benchmark, reduced_fault_rates):
+    figure = benchmark.pedantic(
+        figure_6_2,
+        kwargs={"trials": 3, "iterations": 1000, "fault_rates": reduced_fault_rates},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure))
+    sgd = figure.series_named("SGD,LS").means()
+    svd = figure.series_named("Base: SVD").means()
+    # The robust solver's error stays bounded while the SVD baseline's error
+    # blows past it once faults hit the decomposition (who-wins shape).
+    assert np.nanmax(sgd) < 1.0
+    assert np.nanmean([s for s in svd[1:]]) > np.nanmean(sgd[1:])

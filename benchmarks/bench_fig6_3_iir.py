@@ -1,0 +1,27 @@
+"""Figure 6.3 — IIR error-to-signal ratio vs fault rate."""
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_3
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_3_iir(benchmark, reduced_fault_rates):
+    figure = benchmark.pedantic(
+        figure_6_3,
+        kwargs={
+            "trials": 3,
+            "iterations": 800,
+            "fault_rates": reduced_fault_rates,
+            "signal_length": 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure))
+    robust = figure.series_named("SGD+AS,LS").means()
+    base = figure.series_named("Base").means()
+    # The recursive baseline accumulates error with the fault rate; the
+    # variational solve stays orders of magnitude below it at the high end.
+    assert base[-1] > 10 * robust[-1]

@@ -1,0 +1,21 @@
+"""Figure 6.4 — bipartite matching success rate vs fault rate."""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_4
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_4_matching(benchmark, reduced_fault_rates):
+    figure = benchmark.pedantic(
+        figure_6_4,
+        kwargs={"trials": 3, "iterations": 4000, "fault_rates": reduced_fault_rates},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure, use_success_rate=True))
+    robust = figure.series_named("SGD+AS,SQS").success_rates()
+    base = figure.series_named("Base").success_rates()
+    # Fault-free the robust LP recovers the optimal matching; at the highest
+    # fault rates it holds up at least as well as the Hungarian baseline.
+    assert robust[0] == 1.0
+    assert robust[-1] >= base[-1]

@@ -1,0 +1,22 @@
+"""Figure 6.5 — effect of the gradient-descent enhancements on matching success."""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_5
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_5_enhancements(benchmark):
+    figure = benchmark.pedantic(
+        figure_6_5,
+        kwargs={"trials": 3, "iterations": 4000, "fault_rates": (0.05, 0.2, 0.5)},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure, use_success_rate=True))
+    non_robust = figure.series_named("Non-robust").success_rates()
+    enhanced = figure.series_named("ALL").success_rates()
+    sqs = figure.series_named("SQS").success_rates()
+    # At a 50 % fault rate the enhanced stochastic solvers beat the
+    # non-robust baseline (the paper's headline Figure 6.5 result).
+    assert max(enhanced[-1], sqs[-1]) >= non_robust[-1]
+    assert max(enhanced[-1], sqs[-1]) > 0.0

@@ -1,0 +1,23 @@
+"""Figure 6.7 — FPU energy vs accuracy target for least squares (CG vs Cholesky)."""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import figure_6_7
+from repro.experiments.reporting import format_figure
+
+
+def test_fig6_7_energy(benchmark):
+    figure = benchmark.pedantic(
+        figure_6_7,
+        kwargs={"accuracy_targets": (1e-5, 1e-3, 1e-1), "trials": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure))
+    cg = [v[0] for v in figure.series_named("CG").values]
+    cholesky = [v[0] for v in figure.series_named("Base: Cholesky").values]
+    # At the loosest accuracy target CG can exploit voltage overscaling and
+    # spend less energy than the (fault-intolerant) Cholesky baseline.
+    assert cg[-1] < cholesky[-1]
+    # Tighter targets cost CG at least as much energy as looser ones.
+    finite = [value for value in cg if value != float("inf")]
+    assert finite == sorted(finite, reverse=True)

@@ -1,0 +1,20 @@
+"""§6.2.2 — effect of momentum (β = 0.5) on sorting and matching success."""
+
+from benchmarks.conftest import print_report
+from repro.experiments.figures import momentum_study
+from repro.experiments.reporting import format_figure
+
+
+def test_sec6_2_momentum(benchmark):
+    figure = benchmark.pedantic(
+        momentum_study,
+        kwargs={"trials": 3, "iterations": 2500, "fault_rate": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(format_figure(figure, use_success_rate=True))
+    rates = {series.name: series.success_rates()[0] for series in figure.series}
+    # Momentum must not catastrophically hurt either kernel (the paper reports
+    # a 20-40 % gain for sorting and a <5 % change for matching).
+    assert rates["matching (momentum 0.5)"] >= rates["matching (no momentum)"] - 0.4
+    assert rates["sorting (momentum 0.5)"] >= rates["sorting (no momentum)"] - 0.4

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper at a reduced
+but representative scale (fewer trials and iterations than the paper's
+10,000-iteration FPGA runs, so the whole suite completes in minutes), prints
+the resulting table, and registers a single-round pytest-benchmark entry that
+times one representative solve.  ``EXPERIMENTS.md`` records the mapping and
+the observed numbers.
+"""
+
+import pytest
+
+
+def print_report(text: str) -> None:
+    """Print a figure table with visual separation in the pytest output."""
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+@pytest.fixture
+def reduced_fault_rates():
+    """A compact fault-rate grid covering the paper's range (0.1 % – 50 %)."""
+    return (0.001, 0.05, 0.2, 0.5)

@@ -1,0 +1,44 @@
+"""Quickstart: robustify an application and run it on a faulty processor.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # A stochastic processor whose FPU corrupts 5 % of floating-point results
+    # (one random mantissa/sign bit per faulty result, Figure 5.1 model).
+    proc = repro.StochasticProcessor(fault_rate=0.05, rng=0)
+
+    # --- Sorting, the paper's fragile example (Section 4.3) -----------------
+    values = np.array([7.3, 0.6, 4.8, 2.2, 9.1])
+    robust_sort = repro.robustify("sorting")
+
+    from repro.applications.sorting import default_sorting_config
+
+    config = default_sorting_config(iterations=3000, values=values)
+    result = robust_sort(values, proc, config)
+    print("robust sort   :", np.round(result.output, 3), "success =", result.success)
+
+    baseline = robust_sort.baseline(values, proc.spawn())
+    print("baseline sort :", np.round(baseline.output, 3), "success =", baseline.success)
+
+    # --- Least squares with conjugate gradient (Sections 4.1, 6.3) ----------
+    from repro.workloads import random_least_squares
+
+    A, b, _ = random_least_squares(100, 10, rng=1)
+    robust_lsq = repro.robustify("least-squares-cg")
+    lsq = robust_lsq(A, b, proc.spawn())
+    print(f"CG least squares: relative error = {lsq.relative_error:.2e} "
+          f"({lsq.flops} FLOPs, {lsq.faults_injected} faults injected)")
+
+    # Energy accounting: how much would this run cost at the overscaled voltage?
+    print(f"processor voltage = {proc.voltage:.2f} V, "
+          f"energy so far = {proc.energy():.0f} nominal-FLOP units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Regenerate the paper's evaluation figures as text tables.
+
+By default runs a reduced-scale sweep of every figure (a few minutes); pass
+``--paper-scale`` for the paper's full iteration counts (much slower).
+
+Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_figure, save_figure_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full iteration counts (slow)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="directory to save the tables into")
+    args = parser.parse_args()
+
+    scale = 1.0 if args.paper_scale else 0.25
+    trials = 5 if args.paper_scale else 3
+    lp_iterations = int(10000 * scale)
+    numeric_iterations = int(1000 * max(scale, 0.5))
+
+    generators = {
+        "figure_5_1": lambda: figures.figure_5_1(),
+        "figure_5_2": lambda: figures.figure_5_2(),
+        "figure_6_1": lambda: figures.figure_6_1(trials=trials, iterations=lp_iterations),
+        "figure_6_2": lambda: figures.figure_6_2(trials=trials, iterations=numeric_iterations),
+        "figure_6_3": lambda: figures.figure_6_3(trials=trials, iterations=numeric_iterations),
+        "figure_6_4": lambda: figures.figure_6_4(trials=trials, iterations=lp_iterations),
+        "figure_6_5": lambda: figures.figure_6_5(trials=trials, iterations=lp_iterations),
+        "figure_6_6": lambda: figures.figure_6_6(trials=trials),
+        "figure_6_7": lambda: figures.figure_6_7(trials=max(trials - 1, 2)),
+        "overhead_table": lambda: figures.overhead_table(),
+    }
+
+    success_rate_figures = {"figure_6_1", "figure_6_4", "figure_6_5"}
+    for name, generator in generators.items():
+        figure = generator()
+        text = format_figure(figure, use_success_rate=name in success_rate_figures)
+        print("\n" + text)
+        if args.output is not None:
+            save_figure_report(figure, args.output / f"{name}.txt",
+                               use_success_rate=name in success_rate_figures)
+
+
+if __name__ == "__main__":
+    main()

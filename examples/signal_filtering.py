@@ -1,0 +1,37 @@
+"""IIR filtering on an unreliable FPU (Section 4.2, Figure 6.3).
+
+Compares the conventional direct-form recursion (which accumulates every
+fault into the rest of the output signal) against the robustified variational
+form across a range of fault rates.
+
+Run:  python examples/signal_filtering.py
+"""
+
+import numpy as np
+
+import repro
+from repro.applications.iir import baseline_iir_filter, robust_iir_filter
+from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
+
+
+def main() -> None:
+    filt = random_stable_iir(n_taps=10, rng=3, pole_radius=0.8)
+    signal = sum_of_sinusoids(length=500, frequencies=(0.01, 0.07, 0.15))
+
+    print("fault rate | baseline error/signal | robust error/signal")
+    print("-" * 60)
+    for fault_rate in (0.001, 0.01, 0.05, 0.1):
+        proc = repro.StochasticProcessor(fault_rate=fault_rate, rng=7)
+        baseline = baseline_iir_filter(filt, signal, proc)
+        proc = repro.StochasticProcessor(fault_rate=fault_rate, rng=7)
+        robust = robust_iir_filter(filt, signal, proc)
+        print(f"{fault_rate:10.3f} | {baseline.error_to_signal:20.4g} "
+              f"| {robust.error_to_signal:18.4g}")
+
+    print("\nThe recursive baseline's error grows without bound as faults feed back")
+    print("into later samples; the variational solve re-reads the input every")
+    print("iteration, so faults average out instead of accumulating.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e . --no-use-pep517`` (the legacy editable
+path) works on machines where PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

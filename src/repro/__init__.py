@@ -1,0 +1,128 @@
+"""repro — Application robustification via stochastic optimization.
+
+A from-scratch reproduction of "A Numerical Optimization-Based Methodology
+for Application Robustification: Transforming Applications for Error
+Tolerance" (Sloan & Kumar, DSN 2010).  The library simulates a
+voltage-overscaled stochastic processor whose FPU results suffer single-bit
+timing faults, converts applications (least squares, IIR filtering, sorting,
+bipartite matching, max-flow, all-pairs shortest paths, eigenproblems, SVM
+training) into penalized variational forms, and solves them with stochastic
+gradient descent / conjugate gradient engines that tolerate the faults.
+
+Quickstart
+----------
+>>> import repro
+>>> proc = repro.StochasticProcessor(fault_rate=0.05, rng=0)
+>>> robust_sort = repro.robustify("sorting")
+>>> result = robust_sort([3.0, 1.0, 2.0], proc)
+>>> result.output
+array([1., 2., 3.])
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
+inventory and per-experiment index, and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.exceptions import (
+    RobustificationError,
+    FaultModelError,
+    VoltageModelError,
+    ProblemSpecificationError,
+    ConvergenceError,
+    BaselineFailureError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultModel,
+    StochasticFPU,
+    EmulatedBitDistribution,
+    MeasuredBitDistribution,
+    get_fault_model,
+    list_fault_models,
+)
+from repro.processor import (
+    StochasticProcessor,
+    VoltageErrorModel,
+    EnergyModel,
+    get_processor,
+    list_processors,
+)
+from repro.optimizers import (
+    SGDOptions,
+    CGOptions,
+    stochastic_gradient_descent,
+    conjugate_gradient_least_squares,
+    ExactPenaltyProblem,
+    PenaltyKind,
+    LinearProgram,
+    LinearConstraints,
+    QuadraticProblem,
+    UnconstrainedProblem,
+    ConstrainedProblem,
+    PenaltyAnnealing,
+    AggressiveStepping,
+    QRPreconditioner,
+    OptimizationResult,
+)
+from repro.core import (
+    robustify,
+    RobustApplication,
+    RobustSolveConfig,
+    solve_penalized_lp,
+    to_penalty_form,
+    list_applications,
+    get_variant,
+    list_variants,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Exceptions
+    "RobustificationError",
+    "FaultModelError",
+    "VoltageModelError",
+    "ProblemSpecificationError",
+    "ConvergenceError",
+    "BaselineFailureError",
+    # Fault substrate
+    "FaultInjector",
+    "FaultModel",
+    "StochasticFPU",
+    "EmulatedBitDistribution",
+    "MeasuredBitDistribution",
+    "get_fault_model",
+    "list_fault_models",
+    # Processor
+    "StochasticProcessor",
+    "VoltageErrorModel",
+    "EnergyModel",
+    "get_processor",
+    "list_processors",
+    # Optimizers
+    "SGDOptions",
+    "CGOptions",
+    "stochastic_gradient_descent",
+    "conjugate_gradient_least_squares",
+    "ExactPenaltyProblem",
+    "PenaltyKind",
+    "LinearProgram",
+    "LinearConstraints",
+    "QuadraticProblem",
+    "UnconstrainedProblem",
+    "ConstrainedProblem",
+    "PenaltyAnnealing",
+    "AggressiveStepping",
+    "QRPreconditioner",
+    "OptimizationResult",
+    # Core methodology
+    "robustify",
+    "RobustApplication",
+    "RobustSolveConfig",
+    "solve_penalized_lp",
+    "to_penalty_form",
+    "list_applications",
+    "get_variant",
+    "list_variants",
+]

@@ -1,0 +1,100 @@
+"""Application transformations (Chapter 4) and their non-robust baselines.
+
+Each module converts one application into its variational / penalty form and
+solves it with the stochastic optimizers, and also exposes the conventional
+deterministic baseline executed on the noisy FPU:
+
+* :mod:`repro.applications.least_squares` — §4.1, Figures 6.2, 6.6, 6.7.
+* :mod:`repro.applications.iir` — §4.2, Figure 6.3.
+* :mod:`repro.applications.sorting` — §4.3, Figure 6.1.
+* :mod:`repro.applications.matching` — §4.4, Figures 6.4, 6.5.
+* :mod:`repro.applications.maxflow` — §4.5 (described, not evaluated, in the
+  paper; implemented here as an extension experiment).
+* :mod:`repro.applications.shortest_path` — §4.6 (likewise an extension).
+* :mod:`repro.applications.eigen`, :mod:`repro.applications.svm` — the "other
+  numerical problems" of §4.7.
+"""
+
+from repro.applications.least_squares import (
+    LeastSquaresResult,
+    robust_least_squares_sgd,
+    robust_least_squares_cg,
+    baseline_least_squares,
+    default_least_squares_step,
+)
+from repro.applications.iir import (
+    IIRFilter,
+    IIRResult,
+    build_banded_matrices,
+    robust_iir_filter,
+    baseline_iir_filter,
+    exact_iir_filter,
+)
+from repro.applications.sorting import (
+    SortResult,
+    sorting_linear_program,
+    robust_sort,
+    baseline_sort,
+    round_to_permutation,
+)
+from repro.applications.matching import (
+    MatchingResult,
+    matching_linear_program,
+    robust_matching,
+    baseline_matching,
+    optimal_matching,
+)
+from repro.applications.maxflow import (
+    MaxFlowResult,
+    maxflow_linear_program,
+    robust_max_flow,
+    baseline_max_flow,
+)
+from repro.applications.shortest_path import (
+    ShortestPathResult,
+    apsp_linear_program,
+    robust_all_pairs_shortest_path,
+    baseline_all_pairs_shortest_path,
+    exact_all_pairs_shortest_path,
+)
+from repro.applications.eigen import EigenResult, robust_top_eigenpair, robust_eigenpairs
+from repro.applications.svm import SVMResult, robust_svm_train, svm_accuracy
+
+__all__ = [
+    "LeastSquaresResult",
+    "robust_least_squares_sgd",
+    "robust_least_squares_cg",
+    "baseline_least_squares",
+    "default_least_squares_step",
+    "IIRFilter",
+    "IIRResult",
+    "build_banded_matrices",
+    "robust_iir_filter",
+    "baseline_iir_filter",
+    "exact_iir_filter",
+    "SortResult",
+    "sorting_linear_program",
+    "robust_sort",
+    "baseline_sort",
+    "round_to_permutation",
+    "MatchingResult",
+    "matching_linear_program",
+    "robust_matching",
+    "baseline_matching",
+    "optimal_matching",
+    "MaxFlowResult",
+    "maxflow_linear_program",
+    "robust_max_flow",
+    "baseline_max_flow",
+    "ShortestPathResult",
+    "apsp_linear_program",
+    "robust_all_pairs_shortest_path",
+    "baseline_all_pairs_shortest_path",
+    "exact_all_pairs_shortest_path",
+    "EigenResult",
+    "robust_top_eigenpair",
+    "robust_eigenpairs",
+    "SVMResult",
+    "robust_svm_train",
+    "svm_accuracy",
+]

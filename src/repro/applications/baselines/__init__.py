@@ -1,0 +1,39 @@
+"""Conventional (non-robust) baseline algorithms executed on the noisy FPU.
+
+The paper compares each robust application against a state-of-the-art
+deterministic implementation running on the same error-prone hardware (STL
+sort, OpenCV bipartite matching, SVD/QR/Cholesky least squares, a direct-form
+IIR routine).  The modules here are from-scratch Python equivalents whose
+floating-point work is routed through :class:`repro.faults.fpu.StochasticFPU`,
+so they fail in exactly the way the paper's baselines fail: corrupted
+comparisons mis-order sorts, corrupted reductions derail the Hungarian
+algorithm, corrupted recursions accumulate error in IIR outputs.
+
+(The least-squares decomposition baselines live in :mod:`repro.linalg`.)
+"""
+
+from repro.applications.baselines.sorting_baselines import (
+    noisy_comparison_sort,
+    noisy_quicksort,
+    noisy_mergesort,
+    noisy_insertion_sort,
+)
+from repro.applications.baselines.hungarian import noisy_hungarian_matching
+from repro.applications.baselines.ford_fulkerson import (
+    noisy_edmonds_karp,
+    edmonds_karp_reference,
+)
+from repro.applications.baselines.floyd_warshall import noisy_floyd_warshall
+from repro.applications.baselines.iir_direct import noisy_direct_form_filter
+
+__all__ = [
+    "noisy_comparison_sort",
+    "noisy_quicksort",
+    "noisy_mergesort",
+    "noisy_insertion_sort",
+    "noisy_hungarian_matching",
+    "noisy_edmonds_karp",
+    "edmonds_karp_reference",
+    "noisy_floyd_warshall",
+    "noisy_direct_form_filter",
+]

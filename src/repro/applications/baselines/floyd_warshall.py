@@ -1,0 +1,40 @@
+"""Floyd–Warshall all-pairs shortest paths on the noisy FPU.
+
+The paper uses Floyd–Warshall as the conventional APSP baseline (§4.6).  Each
+relaxation ``D[i][j] = min(D[i][j], D[i][k] + D[k][j])`` performs one noisy
+addition and one noisy comparison, so a single corrupted add can propagate a
+wrong distance through all subsequent relaxations — the classical dynamic
+programming fragility the robust formulation avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.graphs import WeightedGraph
+
+__all__ = ["noisy_floyd_warshall"]
+
+#: Finite stand-in for "no edge" so the noisy arithmetic stays finite.
+_NO_EDGE = 1.0e6
+
+
+def noisy_floyd_warshall(
+    graph: WeightedGraph, proc: StochasticProcessor
+) -> np.ndarray:
+    """All-pairs shortest-path distances with noisy relaxations.
+
+    Returns the distance matrix; entries may be wrong (or retain the large
+    no-edge sentinel) when faults corrupt the relaxations.
+    """
+    fpu = proc.fpu
+    n = graph.n_nodes
+    distances = graph.length_matrix(missing=_NO_EDGE)
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                through_k = fpu.add(distances[i, k], distances[k, j])
+                if np.isfinite(through_k) and fpu.less_than(through_k, distances[i, j]):
+                    distances[i, j] = through_k
+    return distances

@@ -1,0 +1,122 @@
+"""Ford–Fulkerson / Edmonds–Karp max-flow on the noisy FPU.
+
+The paper's baseline max-flow implementation is Ford–Fulkerson (§4.5).  We
+use the Edmonds–Karp variant (BFS augmenting paths) with the residual
+capacity arithmetic — bottleneck computation and residual updates — routed
+through the stochastic FPU.  The number of augmentations is bounded
+explicitly so that corrupted capacities cannot cause non-termination; hitting
+the bound is reported as a (wrong) result, not an exception.
+
+``edmonds_karp_reference`` is the same algorithm with exact arithmetic, used
+as the offline reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.graphs import FlowNetwork
+
+__all__ = ["noisy_edmonds_karp", "edmonds_karp_reference"]
+
+
+def _bfs_augmenting_path(
+    residual: np.ndarray, source: int, sink: int, threshold: float
+) -> Optional[list[int]]:
+    """Shortest augmenting path in the residual graph (control-flow work).
+
+    Residual capacities below ``threshold`` (or non-finite) are treated as
+    absent edges.
+    """
+    n = residual.shape[0]
+    parents = [-1] * n
+    parents[source] = source
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == sink:
+            break
+        for neighbour in range(n):
+            capacity = residual[node, neighbour]
+            if parents[neighbour] == -1 and np.isfinite(capacity) and capacity > threshold:
+                parents[neighbour] = node
+                queue.append(neighbour)
+    if parents[sink] == -1:
+        return None
+    path = [sink]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def edmonds_karp_reference(network: FlowNetwork) -> float:
+    """Exact maximum-flow value (reliable arithmetic, offline reference)."""
+    residual = network.capacity_matrix()
+    value = 0.0
+    while True:
+        path = _bfs_augmenting_path(residual, network.source, network.sink, 1e-12)
+        if path is None:
+            return float(value)
+        bottleneck = min(residual[u, v] for u, v in zip(path[:-1], path[1:]))
+        for u, v in zip(path[:-1], path[1:]):
+            residual[u, v] -= bottleneck
+            residual[v, u] += bottleneck
+        value += bottleneck
+
+
+def noisy_edmonds_karp(
+    network: FlowNetwork,
+    proc: StochasticProcessor,
+    max_augmentations: Optional[int] = None,
+) -> Tuple[np.ndarray, float]:
+    """Edmonds–Karp with residual arithmetic on the noisy FPU.
+
+    Returns ``(flow_matrix, flow_value)``.  The flow matrix holds the flow
+    pushed on each original edge; the value is the (noisily accumulated) total
+    flow out of the source.  Both may be arbitrarily wrong under faults.
+    """
+    fpu = proc.fpu
+    capacities = network.capacity_matrix()
+    residual = capacities.copy()
+    n = network.n_nodes
+    if max_augmentations is None:
+        # |V| * |E| is the Edmonds–Karp bound on augmentations; corrupted
+        # capacities can create extra fractional augmentations, so leave slack.
+        max_augmentations = 4 * n * max(network.n_edges, 1)
+    threshold = 1e-9 * float(np.max(capacities))
+    value = 0.0
+
+    for _ in range(max_augmentations):
+        path = _bfs_augmenting_path(residual, network.source, network.sink, threshold)
+        if path is None:
+            break
+        # Bottleneck via noisy comparisons.
+        bottleneck = residual[path[0], path[1]]
+        for u, v in zip(path[1:-1], path[2:]):
+            candidate = residual[u, v]
+            if fpu.less_than(candidate, bottleneck):
+                bottleneck = candidate
+        if not np.isfinite(bottleneck) or bottleneck <= 0:
+            break
+        # Residual updates via noisy adds/subs.
+        for u, v in zip(path[:-1], path[1:]):
+            residual[u, v] = fpu.sub(residual[u, v], bottleneck)
+            residual[v, u] = fpu.add(residual[v, u], bottleneck)
+        value = fpu.add(value, bottleneck)
+
+    flow_matrix = np.zeros_like(capacities)
+    for u, v in network.edges:
+        pushed = capacities[u, v] - residual[u, v]
+        flow_matrix[u, v] = pushed if np.isfinite(pushed) else np.nan
+    # A residual above an edge's own capacity only happens when flow was
+    # pushed on the anti-parallel edge; the net flow on this edge is then
+    # zero, so negative "pushed" values are clamped (standard max-flow
+    # bookkeeping, not FPU work).
+    finite = np.isfinite(flow_matrix)
+    flow_matrix[finite] = np.maximum(flow_matrix[finite], 0.0)
+    return flow_matrix, float(value)

@@ -1,0 +1,155 @@
+"""Hungarian (Kuhn–Munkres) bipartite matching on the noisy FPU.
+
+The paper's matching baseline is the OpenCV assignment routine running on the
+error-prone FPU.  We implement the O(n³) potential-based Hungarian algorithm
+(the Jonker–Volgenant style shortest augmenting path formulation) with every
+floating-point subtraction, addition and comparison routed through the
+stochastic FPU.  The algorithm's loop structure is bounded by the matrix
+dimensions rather than by data values, so corrupted arithmetic yields wrong
+matchings but never non-termination.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.graphs import BipartiteGraph
+
+__all__ = ["noisy_hungarian_matching"]
+
+#: Cost assigned to non-edges so that the assignment avoids them whenever an
+#: actual edge is available.  Kept finite so the noisy arithmetic stays finite.
+_NON_EDGE_COST = 1.0e6
+
+
+def _noisy_hungarian_assignment(
+    cost: np.ndarray, proc: StochasticProcessor
+) -> np.ndarray:
+    """Minimum-cost assignment of a square cost matrix on the noisy FPU.
+
+    Returns an array ``assignment`` with ``assignment[column] = row`` for each
+    column, following the classical potentials formulation.
+    """
+    fpu = proc.fpu
+    n = cost.shape[0]
+    INF = float("inf")
+    # Potentials and matching follow the standard e-maxx formulation with
+    # 1-based padding (index 0 is a virtual column/row).
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_of_column = [0] * (n + 1)
+
+    for row in range(1, n + 1):
+        match_of_column[0] = row
+        minimum_value = [INF] * (n + 1)
+        used = [False] * (n + 1)
+        current_column = 0
+        while True:
+            used[current_column] = True
+            current_row = match_of_column[current_column]
+            delta = INF
+            next_column = 0
+            for column in range(1, n + 1):
+                if used[column]:
+                    continue
+                # reduced = cost[i0][j] - u[i0] - v[j]  (noisy arithmetic)
+                reduced = fpu.sub(
+                    fpu.sub(cost[current_row - 1, column - 1], u[current_row]),
+                    v[column],
+                )
+                if not np.isfinite(reduced):
+                    reduced = _NON_EDGE_COST
+                if reduced < minimum_value[column]:
+                    minimum_value[column] = reduced
+                if minimum_value[column] < delta:
+                    delta = minimum_value[column]
+                    next_column = column
+            if not np.isfinite(delta):
+                delta = 0.0
+            for column in range(n + 1):
+                if used[column]:
+                    u[match_of_column[column]] = fpu.add(u[match_of_column[column]], delta)
+                    v[column] = fpu.sub(v[column], delta)
+                else:
+                    minimum_value[column] = fpu.sub(minimum_value[column], delta) if np.isfinite(
+                        minimum_value[column]
+                    ) else minimum_value[column]
+            current_column = next_column
+            if match_of_column[current_column] == 0:
+                break
+        # Augment along the alternating path.
+        while True:
+            # The predecessor bookkeeping of the classical algorithm is
+            # control-flow (integer) work; only the arithmetic above is noisy.
+            previous_column = _find_predecessor(
+                cost, u, v, match_of_column, used, current_column, fpu
+            )
+            match_of_column[current_column] = match_of_column[previous_column]
+            current_column = previous_column
+            if current_column == 0:
+                break
+
+    assignment = np.zeros(n, dtype=np.int64)
+    for column in range(1, n + 1):
+        row = match_of_column[column]
+        if row >= 1:
+            assignment[column - 1] = row - 1
+    return assignment
+
+
+def _find_predecessor(cost, u, v, match_of_column, used, column, fpu):
+    """Locate the column preceding ``column`` on the alternating path.
+
+    The classical implementation stores predecessor links explicitly; we
+    recompute them by scanning the used columns for the tightest reduced
+    cost, again through the noisy FPU (wrong choices simply produce a wrong
+    matching).
+    """
+    best_column = 0
+    best_value = None
+    for candidate in range(len(used)):
+        if not used[candidate] or candidate == column:
+            continue
+        row = match_of_column[candidate]
+        if row == 0:
+            value = 0.0
+        else:
+            value = fpu.sub(fpu.sub(cost[row - 1, column - 1], u[row]), v[column])
+        if not np.isfinite(value):
+            value = _NON_EDGE_COST
+        if best_value is None or value < best_value:
+            best_value = value
+            best_column = candidate
+    return best_column
+
+
+def noisy_hungarian_matching(
+    graph: BipartiteGraph, proc: StochasticProcessor
+) -> FrozenSet[Tuple[int, int]]:
+    """Maximum-weight matching of a bipartite graph on the noisy FPU.
+
+    The weight-maximization problem is converted to a square min-cost
+    assignment (non-edges and padding get a large cost), solved with the
+    noisy Hungarian algorithm, and the selected real edges are returned.
+    Corrupted arithmetic may select a sub-optimal or invalid edge set — that
+    is the baseline behaviour the experiments measure.
+    """
+    n = max(graph.n_left, graph.n_right)
+    weight_matrix = np.full((n, n), 0.0)
+    for (a, b), w in zip(graph.edges, graph.weights):
+        weight_matrix[a, b] = w
+    max_weight = float(weight_matrix.max()) if weight_matrix.size else 1.0
+    # Convert maximization to minimization; pad rows/columns with the non-edge
+    # cost so they are only used when unavoidable.
+    cost = np.where(weight_matrix > 0, max_weight - weight_matrix, _NON_EDGE_COST)
+    assignment = _noisy_hungarian_assignment(cost, proc)
+    edge_set = set(graph.edges)
+    selected = set()
+    for column in range(n):
+        row = int(assignment[column])
+        if (row, column) in edge_set:
+            selected.add((row, column))
+    return frozenset(selected)

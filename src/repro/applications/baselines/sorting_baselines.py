@@ -1,0 +1,117 @@
+"""Comparison sorts executed on the noisy FPU.
+
+The paper's sorting baseline is the C++ STL sort (introsort) running on the
+Leon3 with an error-prone FPU.  Two things go wrong for such a baseline:
+
+* comparisons are performed by the floating-point datapath (a subtraction
+  whose sign is inspected), so a corrupted difference silently inverts the
+  comparison and mis-orders the output; and
+* the values themselves travel through FPU registers as they are partitioned,
+  merged, and written back, so a fault can corrupt an element in place —
+  producing the "wrongly sorted number" / NaN failures the paper's success
+  criterion counts.
+
+We reproduce both failure modes with quicksort, mergesort, and insertion sort
+whose comparisons go through
+:meth:`repro.faults.fpu.StochasticFPU.less_than` and whose element moves go
+through :meth:`repro.faults.fpu.StochasticFPU.move`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = [
+    "noisy_quicksort",
+    "noisy_mergesort",
+    "noisy_insertion_sort",
+    "noisy_comparison_sort",
+]
+
+
+def noisy_quicksort(values: np.ndarray, proc: StochasticProcessor) -> np.ndarray:
+    """Quicksort (first-element pivot) with noisy comparisons and moves."""
+    fpu = proc.fpu
+    items: List[float] = [float(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+
+    def _sort(segment: List[float]) -> List[float]:
+        if len(segment) <= 1:
+            return segment
+        pivot = segment[0]
+        smaller: List[float] = []
+        larger: List[float] = []
+        for value in segment[1:]:
+            if fpu.less_than(value, pivot):
+                smaller.append(fpu.move(value))
+            else:
+                larger.append(fpu.move(value))
+        return _sort(smaller) + [fpu.move(pivot)] + _sort(larger)
+
+    return np.asarray(_sort(items), dtype=np.float64)
+
+
+def noisy_mergesort(values: np.ndarray, proc: StochasticProcessor) -> np.ndarray:
+    """Mergesort with noisy comparisons and moves in the merge step."""
+    fpu = proc.fpu
+    items: List[float] = [float(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+
+    def _merge(left: List[float], right: List[float]) -> List[float]:
+        merged: List[float] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if fpu.less_than(right[j], left[i]):
+                merged.append(fpu.move(right[j]))
+                j += 1
+            else:
+                merged.append(fpu.move(left[i]))
+                i += 1
+        merged.extend(fpu.move(v) for v in left[i:])
+        merged.extend(fpu.move(v) for v in right[j:])
+        return merged
+
+    def _sort(segment: List[float]) -> List[float]:
+        if len(segment) <= 1:
+            return segment
+        middle = len(segment) // 2
+        return _merge(_sort(segment[:middle]), _sort(segment[middle:]))
+
+    return np.asarray(_sort(items), dtype=np.float64)
+
+
+def noisy_insertion_sort(values: np.ndarray, proc: StochasticProcessor) -> np.ndarray:
+    """Insertion sort with noisy comparisons and moves."""
+    fpu = proc.fpu
+    items: List[float] = [float(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+    for i in range(1, len(items)):
+        key = items[i]
+        j = i - 1
+        while j >= 0 and fpu.less_than(key, items[j]):
+            items[j + 1] = fpu.move(items[j])
+            j -= 1
+        items[j + 1] = fpu.move(key)
+    return np.asarray(items, dtype=np.float64)
+
+
+_ALGORITHMS = {
+    "quicksort": noisy_quicksort,
+    "mergesort": noisy_mergesort,
+    "insertion": noisy_insertion_sort,
+}
+
+
+def noisy_comparison_sort(
+    values: np.ndarray, proc: StochasticProcessor, algorithm: str = "quicksort"
+) -> np.ndarray:
+    """Dispatch to one of the noisy comparison sorts by name."""
+    try:
+        sorter = _ALGORITHMS[algorithm]
+    except KeyError as exc:
+        raise ProblemSpecificationError(
+            f"unknown sorting algorithm {algorithm!r}; available: {sorted(_ALGORITHMS)}"
+        ) from exc
+    return sorter(values, proc)

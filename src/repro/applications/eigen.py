@@ -1,0 +1,124 @@
+"""Eigenvalue problems (§4.7, "Other numerical problems").
+
+The Courant–Fischer theorem expresses the top eigenpair of a symmetric matrix
+variationally as the maximizer of the Rayleigh quotient
+``R(x) = xᵀMx / xᵀx``.  The paper suggests finding the top eigenpair this way
+and peeling off subsequent pairs by deflation (subtracting the rank-1 term
+``λ v vᵀ``).  We implement exactly that with the noisy matrix-vector products
+and a reliable normalization/deflation control phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+from repro.linalg.ops import noisy_matvec
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["EigenResult", "robust_top_eigenpair", "robust_eigenpairs"]
+
+
+@dataclass
+class EigenResult:
+    """Outcome of a robust eigenpair computation.
+
+    ``eigenvalue_error`` is ``|λ − λ*| / |λ*|`` against the exact eigenvalue;
+    ``eigenvector_alignment`` is ``|⟨v, v*⟩|`` (1.0 means perfectly aligned).
+    """
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    eigenvalue_error: float
+    eigenvector_alignment: float
+    iterations: int
+    flops: int
+    faults_injected: int
+
+
+def robust_top_eigenpair(
+    M: np.ndarray,
+    proc: StochasticProcessor,
+    iterations: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> EigenResult:
+    """Top eigenpair of a symmetric matrix by Rayleigh-quotient ascent.
+
+    Each iteration performs one noisy matrix-vector product (the gradient
+    direction of the Rayleigh quotient up to scaling is ``Mx``) followed by a
+    reliable normalization; non-finite components are zeroed by the control
+    phase.  This is stochastic power iteration — exactly the kind of
+    iterative refinement the paper argues tolerates unbiased FPU noise.
+    """
+    M_arr = np.asarray(M, dtype=np.float64)
+    n = M_arr.shape[0]
+    if M_arr.shape != (n, n):
+        raise ProblemSpecificationError(f"expected a square matrix, got {M_arr.shape}")
+    if not np.allclose(M_arr, M_arr.T, atol=1e-10):
+        raise ProblemSpecificationError("matrix must be symmetric")
+    if iterations < 1:
+        raise ProblemSpecificationError("iterations must be at least 1")
+    generator = rng if rng is not None else np.random.default_rng(0)
+
+    flops_before, faults_before = proc.flops, proc.faults_injected
+    x = generator.standard_normal(n)
+    x /= np.linalg.norm(x)
+    for _ in range(iterations):
+        y = noisy_matvec(proc, M_arr, x)
+        y = np.where(np.isfinite(y), y, 0.0)
+        norm = np.linalg.norm(y)
+        if norm <= np.finfo(float).tiny:
+            # Restart from a fresh random direction (reliable control phase).
+            y = generator.standard_normal(n)
+            norm = np.linalg.norm(y)
+        x = y / norm
+    eigenvalue = float(x @ M_arr @ x)
+
+    exact_values, exact_vectors = np.linalg.eigh(M_arr)
+    top_index = int(np.argmax(np.abs(exact_values)))
+    exact_value = float(exact_values[top_index])
+    exact_vector = exact_vectors[:, top_index]
+    return EigenResult(
+        eigenvalue=eigenvalue,
+        eigenvector=x,
+        eigenvalue_error=abs(eigenvalue - exact_value) / max(abs(exact_value), 1e-30),
+        eigenvector_alignment=float(abs(x @ exact_vector)),
+        iterations=iterations,
+        flops=proc.flops - flops_before,
+        faults_injected=proc.faults_injected - faults_before,
+    )
+
+
+def robust_eigenpairs(
+    M: np.ndarray,
+    k: int,
+    proc: StochasticProcessor,
+    iterations: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> List[EigenResult]:
+    """Top ``k`` eigenpairs by repeated Rayleigh-quotient ascent and deflation.
+
+    After each pair ``(λ, v)`` is found, the matrix is deflated to
+    ``M − λ v vᵀ`` (reliable control phase) and the procedure repeats, as
+    described in §4.7.
+    """
+    M_arr = np.asarray(M, dtype=np.float64).copy()
+    if k < 1 or k > M_arr.shape[0]:
+        raise ProblemSpecificationError(
+            f"k must be between 1 and {M_arr.shape[0]}, got {k}"
+        )
+    generator = rng if rng is not None else np.random.default_rng(0)
+    results: List[EigenResult] = []
+    deflated = M_arr.copy()
+    for index in range(k):
+        result = robust_top_eigenpair(deflated, proc, iterations=iterations, rng=generator)
+        # Score against the original matrix's spectrum rather than the deflated one.
+        exact_values = np.sort(np.abs(np.linalg.eigvalsh(M_arr)))[::-1]
+        target = float(exact_values[index])
+        result.eigenvalue_error = abs(abs(result.eigenvalue) - target) / max(target, 1e-30)
+        results.append(result)
+        deflated = deflated - result.eigenvalue * np.outer(result.eigenvector, result.eigenvector)
+    return results

@@ -1,0 +1,146 @@
+"""Registry of application robustification recipes.
+
+Maps application names to the functions that implement their robust
+(stochastic-optimization-based) form.  Imports are deferred so that
+``repro.core`` does not import every application at package-import time (the
+applications themselves import :mod:`repro.core.transform`).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = ["ApplicationRecipe", "get_recipe", "list_applications", "register_recipe"]
+
+
+@dataclass(frozen=True)
+class ApplicationRecipe:
+    """One entry of the robustification registry.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"sorting"``).
+    module:
+        Dotted path of the module implementing the robust solve.
+    robust_function:
+        Name of the robust entry point within that module.
+    baseline_function:
+        Name of the non-robust baseline entry point (``""`` if none).
+    description:
+        One-line description for documentation and reports.
+    """
+
+    name: str
+    module: str
+    robust_function: str
+    baseline_function: str
+    description: str
+
+    def load_robust(self) -> Callable:
+        """Import and return the robust entry point."""
+        return getattr(importlib.import_module(self.module), self.robust_function)
+
+    def load_baseline(self) -> Callable:
+        """Import and return the baseline entry point."""
+        if not self.baseline_function:
+            raise ProblemSpecificationError(
+                f"application {self.name!r} has no registered baseline"
+            )
+        return getattr(importlib.import_module(self.module), self.baseline_function)
+
+
+_RECIPES: Dict[str, ApplicationRecipe] = {
+    recipe.name: recipe
+    for recipe in (
+        ApplicationRecipe(
+            name="least-squares",
+            module="repro.applications.least_squares",
+            robust_function="robust_least_squares_sgd",
+            baseline_function="baseline_least_squares",
+            description="min ||Ax - b||² by stochastic gradient descent (§4.1).",
+        ),
+        ApplicationRecipe(
+            name="least-squares-cg",
+            module="repro.applications.least_squares",
+            robust_function="robust_least_squares_cg",
+            baseline_function="baseline_least_squares",
+            description="min ||Ax - b||² by restarted conjugate gradient (§3.3).",
+        ),
+        ApplicationRecipe(
+            name="iir",
+            module="repro.applications.iir",
+            robust_function="robust_iir_filter",
+            baseline_function="baseline_iir_filter",
+            description="IIR filtering in variational form (§4.2).",
+        ),
+        ApplicationRecipe(
+            name="sorting",
+            module="repro.applications.sorting",
+            robust_function="robust_sort",
+            baseline_function="baseline_sort",
+            description="Sorting as a penalized linear program over permutations (§4.3).",
+        ),
+        ApplicationRecipe(
+            name="matching",
+            module="repro.applications.matching",
+            robust_function="robust_matching",
+            baseline_function="baseline_matching",
+            description="Maximum-weight bipartite matching as a penalized LP (§4.4).",
+        ),
+        ApplicationRecipe(
+            name="maxflow",
+            module="repro.applications.maxflow",
+            robust_function="robust_max_flow",
+            baseline_function="baseline_max_flow",
+            description="Maximum flow as a penalized LP (§4.5).",
+        ),
+        ApplicationRecipe(
+            name="shortest-path",
+            module="repro.applications.shortest_path",
+            robust_function="robust_all_pairs_shortest_path",
+            baseline_function="baseline_all_pairs_shortest_path",
+            description="All-pairs shortest paths as a penalized LP (§4.6).",
+        ),
+        ApplicationRecipe(
+            name="eigen",
+            module="repro.applications.eigen",
+            robust_function="robust_top_eigenpair",
+            baseline_function="",
+            description="Top eigenpair by Rayleigh-quotient ascent (§4.7).",
+        ),
+        ApplicationRecipe(
+            name="svm",
+            module="repro.applications.svm",
+            robust_function="robust_svm_train",
+            baseline_function="",
+            description="Linear SVM training by Pegasos-style SGD (§4.7).",
+        ),
+    )
+}
+
+
+def register_recipe(recipe: ApplicationRecipe, overwrite: bool = False) -> None:
+    """Add a custom application recipe to the registry."""
+    if not overwrite and recipe.name in _RECIPES:
+        raise ProblemSpecificationError(f"application {recipe.name!r} already registered")
+    _RECIPES[recipe.name] = recipe
+
+
+def get_recipe(name: str) -> ApplicationRecipe:
+    """Look up a recipe by name."""
+    try:
+        return _RECIPES[name]
+    except KeyError as exc:
+        raise ProblemSpecificationError(
+            f"unknown application {name!r}; available: {list_applications()}"
+        ) from exc
+
+
+def list_applications() -> list[str]:
+    """Names of all registered applications."""
+    return sorted(_RECIPES)

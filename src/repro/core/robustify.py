@@ -1,0 +1,75 @@
+"""The public ``robustify()`` entry point.
+
+``robustify("sorting")`` returns a :class:`RobustApplication`: a callable
+wrapper around the application's robust (stochastic-optimization-based)
+implementation, with access to the conventional baseline for comparison.
+This is the programmatic face of the paper's methodology — "recasting the
+application as an optimization problem and applying off-the-shelf stochastic
+optimization procedures to find the solution".
+
+Example
+-------
+>>> from repro import StochasticProcessor, robustify
+>>> proc = StochasticProcessor(fault_rate=0.05, rng=0)
+>>> robust_sort = robustify("sorting")
+>>> result = robust_sort([3.0, 1.0, 2.0], proc)
+>>> bool(result.success)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.recipes import ApplicationRecipe, get_recipe
+
+__all__ = ["RobustApplication", "robustify"]
+
+
+class RobustApplication:
+    """A robustified application bound to its recipe.
+
+    Calling the object invokes the robust implementation; :meth:`baseline`
+    invokes the conventional implementation on the same noisy processor so
+    the two can be compared side by side, as in the paper's figures.
+    """
+
+    def __init__(self, recipe: ApplicationRecipe) -> None:
+        self._recipe = recipe
+        self._robust = recipe.load_robust()
+
+    @property
+    def name(self) -> str:
+        """Registry name of the application."""
+        return self._recipe.name
+
+    @property
+    def description(self) -> str:
+        """One-line description of the transformation."""
+        return self._recipe.description
+
+    @property
+    def has_baseline(self) -> bool:
+        """Whether a non-robust baseline is registered for this application."""
+        return bool(self._recipe.baseline_function)
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        """Run the robust (stochastic-optimization-based) implementation."""
+        return self._robust(*args, **kwargs)
+
+    def baseline(self, *args: Any, **kwargs: Any):
+        """Run the conventional baseline on the same (noisy) processor."""
+        return self._recipe.load_baseline()(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RobustApplication({self.name!r})"
+
+
+def robustify(application: str) -> RobustApplication:
+    """Return the robust, error-tolerant form of a named application.
+
+    ``application`` is one of :func:`repro.core.recipes.list_applications`
+    (``"sorting"``, ``"matching"``, ``"least-squares"``, ``"least-squares-cg"``,
+    ``"iir"``, ``"maxflow"``, ``"shortest-path"``, ``"eigen"``, ``"svm"``).
+    """
+    return RobustApplication(get_recipe(application))

@@ -1,0 +1,107 @@
+"""Reliable control-phase validation utilities.
+
+The paper assumes a small amount of reliable computation is available for
+control decisions.  The functions here are the validation half of that
+assumption: cheap, exact checks run after (or between) noisy solves — is the
+output finite, is the rounded matrix actually a permutation, is an array
+actually sorted.  They are used by the applications for rounding/validation
+and by the metrics module for scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+__all__ = [
+    "assert_finite",
+    "is_permutation_matrix",
+    "is_doubly_stochastic",
+    "is_valid_sorted_output",
+    "relative_difference",
+]
+
+
+def assert_finite(values: np.ndarray, context: str = "value") -> np.ndarray:
+    """Raise :class:`ConvergenceError` if any entry is NaN or infinite."""
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ConvergenceError(f"{context} contains non-finite entries")
+    return arr
+
+
+def is_permutation_matrix(X: np.ndarray, tolerance: float = 1e-6) -> bool:
+    """Whether ``X`` is (within tolerance) a 0/1 matrix with one 1 per row and column."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        return False
+    if not np.all(np.isfinite(arr)):
+        return False
+    rounded = np.round(arr)
+    if np.max(np.abs(arr - rounded)) > tolerance:
+        return False
+    if not np.all((rounded == 0) | (rounded == 1)):
+        return False
+    return bool(
+        np.all(rounded.sum(axis=0) == 1) and np.all(rounded.sum(axis=1) == 1)
+    )
+
+
+def is_doubly_stochastic(X: np.ndarray, tolerance: float = 1e-3) -> bool:
+    """Whether ``X`` has non-negative entries and row/column sums at most one.
+
+    This is the feasible set of the sorting/matching linear programs (the
+    convex hull of permutation matrices is reached when the sums equal one;
+    the LPs of Chapter 4 only require them to be at most one).
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim != 2 or not np.all(np.isfinite(arr)):
+        return False
+    if np.min(arr) < -tolerance:
+        return False
+    return bool(
+        np.all(arr.sum(axis=0) <= 1 + tolerance)
+        and np.all(arr.sum(axis=1) <= 1 + tolerance)
+    )
+
+
+def is_valid_sorted_output(
+    output: np.ndarray, original: np.ndarray, rtol: float = 5.0e-7
+) -> bool:
+    """Whether ``output`` is a correctly sorted permutation of ``original``.
+
+    Mirrors the paper's sorting success criterion: "any undetermined entries
+    (NaNs), wrongly sorted number, etc., is considered a failure."  The value
+    comparison allows single-precision round-off (the datapath stores results
+    as float32) but flags anything beyond it — including the smallest injected
+    mantissa-bit faults — as a wrongly sorted number.
+    """
+    out = np.asarray(output, dtype=np.float64)
+    orig = np.asarray(original, dtype=np.float64)
+    if out.shape != orig.shape or not np.all(np.isfinite(out)):
+        return False
+    if np.any(np.diff(out) < 0):
+        return False
+    scale = float(np.max(np.abs(orig))) if orig.size else 1.0
+    return bool(
+        np.allclose(np.sort(out), np.sort(orig), rtol=rtol, atol=rtol * max(scale, 1.0))
+    )
+
+
+def relative_difference(actual: np.ndarray, reference: np.ndarray) -> float:
+    """``||actual - reference|| / max(||reference||, tiny)``.
+
+    Non-finite actual values map to ``inf`` (a failed output can never be
+    "close").
+    """
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    reference_arr = np.asarray(reference, dtype=np.float64)
+    if actual_arr.shape != reference_arr.shape:
+        raise ValueError(
+            f"shape mismatch: {actual_arr.shape} vs {reference_arr.shape}"
+        )
+    if not np.all(np.isfinite(actual_arr)):
+        return float("inf")
+    denom = max(float(np.linalg.norm(reference_arr)), np.finfo(float).tiny)
+    return float(np.linalg.norm(actual_arr - reference_arr) / denom)

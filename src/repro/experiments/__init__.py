@@ -1,0 +1,46 @@
+"""Experiment harness: fault-rate sweeps and per-figure reproductions.
+
+Every table and figure of the paper's evaluation has a generator here:
+
+========  ==========================================================
+Figure    Generator
+========  ==========================================================
+5.1       :func:`repro.experiments.figures.figure_5_1`
+5.2       :func:`repro.experiments.figures.figure_5_2`
+6.1       :func:`repro.experiments.figures.figure_6_1`
+6.2       :func:`repro.experiments.figures.figure_6_2`
+6.3       :func:`repro.experiments.figures.figure_6_3`
+6.4       :func:`repro.experiments.figures.figure_6_4`
+6.5       :func:`repro.experiments.figures.figure_6_5`
+6.6       :func:`repro.experiments.figures.figure_6_6`
+6.7       :func:`repro.experiments.figures.figure_6_7`
+§6.2.2    :func:`repro.experiments.figures.momentum_study`
+§6.3      :func:`repro.experiments.figures.flop_cost_comparison`
+§7        :func:`repro.experiments.figures.overhead_table`
+========  ==========================================================
+
+Each generator returns a :class:`repro.experiments.runner.FigureResult` whose
+series can be printed with :func:`repro.experiments.reporting.format_figure`.
+The ``trials`` / ``iterations`` arguments default to laptop-scale settings;
+the docstrings state the paper's full-scale values.
+"""
+
+from repro.experiments.runner import (
+    FigureResult,
+    SeriesResult,
+    run_fault_rate_sweep,
+    DEFAULT_FAULT_RATES,
+)
+from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
+from repro.experiments import figures
+
+__all__ = [
+    "FigureResult",
+    "SeriesResult",
+    "run_fault_rate_sweep",
+    "DEFAULT_FAULT_RATES",
+    "format_figure",
+    "figure_to_rows",
+    "save_figure_report",
+    "figures",
+]

@@ -1,0 +1,70 @@
+"""Text reporting of reproduced figures.
+
+The paper's figures are line charts over fault rate; in a headless library
+the equivalent artefact is a table with one row per fault rate and one column
+per series, which :func:`format_figure` renders and the benchmark harness
+prints / saves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.runner import FigureResult
+
+__all__ = ["figure_to_rows", "format_figure", "save_figure_report"]
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3e}"
+    return f"{value:.4f}"
+
+
+def figure_to_rows(figure: FigureResult, use_success_rate: bool = False) -> List[List[str]]:
+    """Tabulate a figure: header row then one row per fault rate."""
+    header = [figure.x_label] + [series.name for series in figure.series]
+    rows = [header]
+    for index, fault_rate in enumerate(figure.fault_rates):
+        row = [f"{fault_rate:g}"]
+        for series in figure.series:
+            values = (
+                series.success_rates() if use_success_rate else series.means()
+            )
+            row.append(_format_value(values[index]) if index < len(values) else "-")
+        rows.append(row)
+    return rows
+
+
+def format_figure(figure: FigureResult, use_success_rate: bool = False) -> str:
+    """Render a reproduced figure as an aligned text table."""
+    rows = figure_to_rows(figure, use_success_rate=use_success_rate)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [f"{figure.figure_id}: {figure.title}", f"(y axis: {figure.y_label})"]
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("-" * len(line))
+    if figure.notes:
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def save_figure_report(
+    figure: FigureResult,
+    path: Union[str, Path],
+    use_success_rate: bool = False,
+) -> Path:
+    """Write the rendered table to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_figure(figure, use_success_rate=use_success_rate) + "\n")
+    return path

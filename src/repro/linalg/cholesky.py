@@ -1,0 +1,63 @@
+"""Cholesky decomposition and Cholesky-based least squares on the noisy FPU.
+
+The paper uses a Cholesky factorization of the normal equations as the fastest
+(but least robust) least-squares baseline.  The factorization below follows
+the standard Cholesky–Banachiewicz recurrence with every arithmetic operation
+routed through the stochastic processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.ops import noisy_dot, noisy_matmul, noisy_matvec
+from repro.linalg.triangular import back_substitution, forward_substitution
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["cholesky_decompose", "cholesky_least_squares"]
+
+
+def cholesky_decompose(proc: StochasticProcessor, A: np.ndarray) -> np.ndarray:
+    """Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+
+    Executed on the noisy FPU.  A corrupted diagonal entry can make the
+    argument of the square root negative; IEEE semantics then produce a NaN
+    which propagates through the rest of the factor — exactly the failure mode
+    that makes this the most fragile baseline in Figure 6.6.
+    """
+    A_arr = np.asarray(A, dtype=np.float64)
+    n = A_arr.shape[0]
+    if A_arr.shape != (n, n):
+        raise ValueError(f"Cholesky requires a square matrix, got {A_arr.shape}")
+    fpu = proc.fpu
+    L = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1):
+            partial = noisy_dot(proc, L[i, :j], L[j, :j]) if j > 0 else 0.0
+            if i == j:
+                L[i, j] = fpu.sqrt(fpu.sub(A_arr[i, i], partial))
+            else:
+                L[i, j] = fpu.div(fpu.sub(A_arr[i, j], partial), L[j, j])
+    return L
+
+
+def cholesky_least_squares(
+    proc: StochasticProcessor, A: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Least-squares solution of ``min ||Ax - b||`` via the normal equations.
+
+    Forms ``AᵀA`` and ``Aᵀb`` on the noisy FPU, factors ``AᵀA = LLᵀ``, then
+    solves the two triangular systems.  This squares the condition number of
+    ``A`` on top of exposing every step to faults.
+    """
+    A_arr = np.asarray(A, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if A_arr.ndim != 2 or A_arr.shape[0] != b_arr.shape[0]:
+        raise ValueError(
+            f"least-squares shape mismatch: A {A_arr.shape}, b {b_arr.shape}"
+        )
+    gram = noisy_matmul(proc, A_arr.T, A_arr)
+    rhs = noisy_matvec(proc, A_arr.T, b_arr)
+    L = cholesky_decompose(proc, gram)
+    y = forward_substitution(proc, L, rhs)
+    return back_substitution(proc, L.T, y)

@@ -1,0 +1,61 @@
+"""Dispatch layer for the deterministic least-squares baselines.
+
+The paper evaluates three conventional least-squares implementations — SVD,
+QR, and Cholesky — as the non-robust baselines of Figures 6.2 and 6.6.  This
+module provides a single entry point that selects among them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+from repro.linalg.cholesky import cholesky_least_squares
+from repro.linalg.qr import qr_least_squares
+from repro.linalg.svd import svd_least_squares
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["least_squares_baseline", "BASELINE_METHODS"]
+
+_SOLVERS: Dict[str, Callable[[StochasticProcessor, np.ndarray, np.ndarray], np.ndarray]] = {
+    "svd": svd_least_squares,
+    "qr": qr_least_squares,
+    "cholesky": cholesky_least_squares,
+}
+
+#: Names of the available baseline least-squares methods.
+BASELINE_METHODS = tuple(sorted(_SOLVERS))
+
+
+def least_squares_baseline(
+    proc: StochasticProcessor,
+    A: np.ndarray,
+    b: np.ndarray,
+    method: str = "svd",
+) -> np.ndarray:
+    """Solve ``min ||Ax - b||`` with a conventional (non-robust) algorithm.
+
+    Parameters
+    ----------
+    proc:
+        The stochastic processor whose FPU executes every operation.
+    A, b:
+        Least-squares data.
+    method:
+        One of ``"svd"``, ``"qr"``, ``"cholesky"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The computed solution, which may contain NaNs or be wildly inaccurate
+        when faults strike — that is the behaviour the experiments measure.
+    """
+    try:
+        solver = _SOLVERS[method]
+    except KeyError as exc:
+        raise ProblemSpecificationError(
+            f"unknown baseline method {method!r}; available: {BASELINE_METHODS}"
+        ) from exc
+    return solver(proc, A, b)

@@ -1,0 +1,130 @@
+"""One-sided Jacobi SVD and SVD-based least squares on the noisy FPU.
+
+The SVD baseline is the most accurate deterministic least-squares
+implementation in the paper (Figure 6.6), but like the other baselines it is
+exposed to FPU faults with no recovery mechanism.  We implement the one-sided
+Jacobi method: orthogonalize pairs of columns with plane rotations until the
+columns are mutually orthogonal; the column norms are the singular values and
+the accumulated rotations form ``V``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.ops import noisy_dot, noisy_matvec
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["jacobi_svd", "svd_least_squares"]
+
+
+def jacobi_svd(
+    proc: StochasticProcessor,
+    A: np.ndarray,
+    max_sweeps: int = 12,
+    tolerance: float = 1e-10,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-sided Jacobi SVD ``A = U diag(s) Vᵀ`` executed on the noisy FPU.
+
+    Parameters
+    ----------
+    proc:
+        Stochastic processor supplying the (possibly faulty) arithmetic.
+    A:
+        Matrix of shape ``(m, n)`` with ``m >= n``.
+    max_sweeps:
+        Maximum number of full column-pair sweeps.  The loop structure and
+        the convergence test are control-phase work (reliable); every
+        numerical operation inside a sweep runs on the noisy FPU.
+    tolerance:
+        Relative off-diagonal threshold below which a column pair is skipped.
+
+    Returns
+    -------
+    (U, s, Vt):
+        ``U`` is ``(m, n)`` with (nominally) orthonormal columns, ``s`` the
+        singular values sorted in decreasing order, ``Vt`` the transposed
+        right singular vectors, ``(n, n)``.
+    """
+    A_arr = np.asarray(A, dtype=np.float64)
+    if A_arr.ndim != 2:
+        raise ValueError(f"SVD requires a matrix, got shape {A_arr.shape}")
+    m, n = A_arr.shape
+    if m < n:
+        raise ValueError(f"one-sided Jacobi SVD requires m >= n, got {A_arr.shape}")
+    fpu = proc.fpu
+    U = A_arr.copy()
+    V = np.eye(n, dtype=np.float64)
+    for _ in range(max_sweeps):
+        off_diagonal = 0.0
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                alpha = noisy_dot(proc, U[:, p], U[:, p])
+                beta = noisy_dot(proc, U[:, q], U[:, q])
+                gamma = noisy_dot(proc, U[:, p], U[:, q])
+                if not (np.isfinite(alpha) and np.isfinite(beta) and np.isfinite(gamma)):
+                    continue
+                denom = np.sqrt(abs(alpha * beta))
+                if denom <= 0 or abs(gamma) <= tolerance * denom:
+                    continue
+                off_diagonal = max(off_diagonal, abs(gamma) / denom)
+                # Rotation parameters (two subtractions, one division, one
+                # square root, two more divisions: all noisy FLOPs).
+                zeta = fpu.div(fpu.sub(beta, alpha), fpu.mul(2.0, gamma))
+                if not np.isfinite(zeta):
+                    continue
+                sign = 1.0 if zeta >= 0 else -1.0
+                t = fpu.div(
+                    sign, fpu.add(abs(zeta), fpu.sqrt(fpu.add(1.0, fpu.mul(zeta, zeta))))
+                )
+                c = fpu.div(1.0, fpu.sqrt(fpu.add(1.0, fpu.mul(t, t))))
+                s = fpu.mul(c, t)
+                if not (np.isfinite(c) and np.isfinite(s)):
+                    continue
+                # Apply the rotation to the column pairs of U and V.
+                up = proc.corrupt(c * U[:, p] - s * U[:, q], ops_per_element=3)
+                uq = proc.corrupt(s * U[:, p] + c * U[:, q], ops_per_element=3)
+                U[:, p], U[:, q] = up, uq
+                vp = proc.corrupt(c * V[:, p] - s * V[:, q], ops_per_element=3)
+                vq = proc.corrupt(s * V[:, p] + c * V[:, q], ops_per_element=3)
+                V[:, p], V[:, q] = vp, vq
+        if off_diagonal < tolerance:
+            break
+    # Column norms are the singular values; normalize U's columns.
+    singular_values = np.zeros(n, dtype=np.float64)
+    for j in range(n):
+        norm_sq = noisy_dot(proc, U[:, j], U[:, j])
+        norm = fpu.sqrt(norm_sq)
+        singular_values[j] = norm
+        if np.isfinite(norm) and norm > 0:
+            U[:, j] = proc.corrupt(U[:, j] / norm, ops_per_element=1)
+    order = np.argsort(-np.where(np.isfinite(singular_values), singular_values, -np.inf))
+    return U[:, order], singular_values[order], V[:, order].T
+
+
+def svd_least_squares(
+    proc: StochasticProcessor,
+    A: np.ndarray,
+    b: np.ndarray,
+    rcond: float = 1e-12,
+) -> np.ndarray:
+    """Least-squares solution via the (noisy) one-sided Jacobi SVD.
+
+    Computes ``x = V diag(1/s) Uᵀ b`` with small or non-finite singular values
+    treated as zero (pseudo-inverse convention).
+    """
+    A_arr = np.asarray(A, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if A_arr.shape[0] != b_arr.shape[0]:
+        raise ValueError(
+            f"least-squares shape mismatch: A {A_arr.shape}, b {b_arr.shape}"
+        )
+    U, s, Vt = jacobi_svd(proc, A_arr)
+    projected = noisy_matvec(proc, U.T, b_arr)
+    finite = np.isfinite(s)
+    cutoff = rcond * (np.max(s[finite]) if np.any(finite) else 0.0)
+    inverse_s = np.where(finite & (np.abs(s) > cutoff), 1.0 / s, 0.0)
+    scaled = proc.corrupt(projected * inverse_s, ops_per_element=1)
+    return noisy_matvec(proc, Vt.T, scaled)

@@ -1,0 +1,59 @@
+"""Triangular solves on the noisy FPU.
+
+Forward and back substitution are the final stage of the QR- and
+Cholesky-based least-squares baselines.  Both are implemented row by row with
+the dot products, subtractions, and divisions routed through the stochastic
+processor, so a single corrupted pivot division can (and under the paper's
+fault model does) poison the remainder of the solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.ops import noisy_dot
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["forward_substitution", "back_substitution"]
+
+
+def forward_substitution(
+    proc: StochasticProcessor, L: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L`` on the noisy FPU."""
+    L_arr = np.asarray(L, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    n = L_arr.shape[0]
+    if L_arr.shape != (n, n) or b_arr.shape != (n,):
+        raise ValueError(
+            f"forward substitution shape mismatch: L {L_arr.shape}, b {b_arr.shape}"
+        )
+    fpu = proc.fpu
+    x = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        partial = noisy_dot(proc, L_arr[i, :i], x[:i]) if i > 0 else 0.0
+        numerator = fpu.sub(b_arr[i], partial)
+        x[i] = fpu.div(numerator, L_arr[i, i])
+    return x
+
+
+def back_substitution(
+    proc: StochasticProcessor, R: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Solve ``R x = b`` for upper-triangular ``R`` on the noisy FPU."""
+    R_arr = np.asarray(R, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    n = R_arr.shape[0]
+    if R_arr.shape != (n, n) or b_arr.shape != (n,):
+        raise ValueError(
+            f"back substitution shape mismatch: R {R_arr.shape}, b {b_arr.shape}"
+        )
+    fpu = proc.fpu
+    x = np.zeros(n, dtype=np.float64)
+    for i in range(n - 1, -1, -1):
+        partial = (
+            noisy_dot(proc, R_arr[i, i + 1 :], x[i + 1 :]) if i < n - 1 else 0.0
+        )
+        numerator = fpu.sub(b_arr[i], partial)
+        x[i] = fpu.div(numerator, R_arr[i, i])
+    return x

@@ -1,0 +1,30 @@
+"""Output-quality metrics and trial statistics.
+
+The paper's metrics (Chapter 6): success rate for sorting and matching,
+relative error for least squares, error-to-signal ratio for IIR, plus the
+energy metric of Figure 6.7.  :mod:`repro.metrics.statistics` aggregates
+per-trial values into the mean/deviation/confidence summaries the experiment
+harness reports.
+"""
+
+from repro.metrics.quality import (
+    success_rate,
+    relative_error,
+    residual_relative_error,
+    error_to_signal_ratio,
+    mean_squared_error,
+    quality_of_result,
+)
+from repro.metrics.statistics import TrialSummary, summarize, geometric_mean
+
+__all__ = [
+    "success_rate",
+    "relative_error",
+    "residual_relative_error",
+    "error_to_signal_ratio",
+    "mean_squared_error",
+    "quality_of_result",
+    "TrialSummary",
+    "summarize",
+    "geometric_mean",
+]

@@ -1,0 +1,79 @@
+"""Output-quality metrics matching the paper's definitions (Chapter 6)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "success_rate",
+    "relative_error",
+    "residual_relative_error",
+    "error_to_signal_ratio",
+    "mean_squared_error",
+    "quality_of_result",
+]
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of successful trials, as a percentage-style fraction in [0, 1].
+
+    Used for the sorting (Figure 6.1) and matching (Figures 6.4/6.5) sweeps,
+    where a trial succeeds only when the entire output is exactly correct.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    return float(sum(bool(o) for o in outcomes) / len(outcomes))
+
+
+def relative_error(actual: np.ndarray, reference: np.ndarray) -> float:
+    """``||actual − reference|| / ||reference||`` with non-finite actuals → inf.
+
+    The Figure 6.2/6.6 least-squares metric ("relative error w.r.t. ideal").
+    """
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    reference_arr = np.asarray(reference, dtype=np.float64)
+    if not np.all(np.isfinite(actual_arr)):
+        return float("inf")
+    denominator = max(float(np.linalg.norm(reference_arr)), np.finfo(float).tiny)
+    return float(np.linalg.norm(actual_arr - reference_arr) / denominator)
+
+
+def residual_relative_error(A: np.ndarray, b: np.ndarray, x: np.ndarray) -> float:
+    """Relative residual ``||Ax − b|| / ||b||`` evaluated reliably."""
+    A_arr = np.asarray(A, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    x_arr = np.asarray(x, dtype=np.float64).ravel()
+    if not np.all(np.isfinite(x_arr)):
+        return float("inf")
+    denominator = max(float(np.linalg.norm(b_arr)), np.finfo(float).tiny)
+    return float(np.linalg.norm(A_arr @ x_arr - b_arr) / denominator)
+
+
+def error_to_signal_ratio(actual: np.ndarray, reference: np.ndarray) -> float:
+    """``||y − y_exact|| / ||y_exact||`` — the Figure 6.3 IIR metric."""
+    return relative_error(actual, reference)
+
+
+def mean_squared_error(actual: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error, with non-finite actual values mapping to inf."""
+    actual_arr = np.asarray(actual, dtype=np.float64)
+    reference_arr = np.asarray(reference, dtype=np.float64)
+    if not np.all(np.isfinite(actual_arr)):
+        return float("inf")
+    return float(np.mean((actual_arr - reference_arr) ** 2))
+
+
+def quality_of_result(values: Sequence[float], cap: float = 1.0) -> float:
+    """Mean of error values with each trial capped at ``cap``.
+
+    The paper notes that "SQS results in errors larger than 1.0" for least
+    squares; capping keeps a handful of divergent trials from swamping the
+    mean while still recording them as maximally wrong.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(np.minimum(np.where(np.isfinite(arr), arr, cap), cap)))

@@ -1,0 +1,62 @@
+"""Penalty-parameter annealing (§6.2.4).
+
+"The contribution of the penalty function ... can impede progress towards the
+solution, especially if these constraints are poorly scaled compared to the
+actual objective.  This can be mitigated by annealing the penalty parameter:
+the parameter μ is periodically increased as the solver moves closer towards
+the minimum."
+
+:class:`PenaltyAnnealing` encapsulates that policy: starting from a modest μ
+(so the objective term dominates early and the iterate moves quickly toward
+the unconstrained optimum), it multiplies μ by a growth factor every fixed
+number of iterations, up to a cap (so the constraints eventually dominate and
+pull the iterate onto the feasible set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = ["PenaltyAnnealing"]
+
+
+@dataclass
+class PenaltyAnnealing:
+    """Schedule that periodically increases the exact-penalty parameter μ.
+
+    Attributes
+    ----------
+    initial_penalty:
+        μ at iteration 1.
+    growth_factor:
+        Multiplier applied at every annealing event.
+    period:
+        Number of iterations between annealing events.
+    max_penalty:
+        Upper bound on μ.
+    """
+
+    initial_penalty: float = 1.0
+    growth_factor: float = 2.0
+    period: int = 100
+    max_penalty: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        if self.initial_penalty <= 0:
+            raise ProblemSpecificationError("initial_penalty must be positive")
+        if self.growth_factor <= 1.0:
+            raise ProblemSpecificationError("growth_factor must exceed 1.0")
+        if self.period < 1:
+            raise ProblemSpecificationError("period must be at least 1")
+        if self.max_penalty < self.initial_penalty:
+            raise ProblemSpecificationError("max_penalty must be >= initial_penalty")
+
+    def penalty_at(self, iteration: int) -> float:
+        """Penalty parameter in effect at a 1-based iteration number."""
+        if iteration < 1:
+            raise ProblemSpecificationError("iterations are 1-based")
+        n_increases = (iteration - 1) // self.period
+        penalty = self.initial_penalty * (self.growth_factor**n_increases)
+        return min(penalty, self.max_penalty)

@@ -1,0 +1,82 @@
+"""Common result and bookkeeping types for the stochastic solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["IterationRecord", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot of one solver iteration, recorded by the optional trace.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration index.
+    objective:
+        Objective value measured reliably at this iterate (``nan`` when the
+        solver was configured not to evaluate it).
+    step_size:
+        Step size used for the update that produced this iterate.
+    penalty:
+        Penalty parameter in effect (``nan`` for unconstrained problems).
+    """
+
+    iteration: int
+    objective: float
+    step_size: float
+    penalty: float = float("nan")
+
+
+@dataclass
+class OptimizationResult:
+    """The outcome of a stochastic optimization run.
+
+    Attributes
+    ----------
+    x:
+        Final iterate (after any preconditioning has been undone).
+    objective:
+        Final objective value, evaluated reliably.
+    iterations:
+        Number of iterations executed.
+    converged:
+        Whether the solver's stopping criterion was met before the iteration
+        budget ran out.  Solvers run for a fixed budget (as in the paper's
+        experiments) report ``True`` when they complete the budget.
+    flops:
+        Floating-point operations charged to the stochastic processor during
+        the run (used by the energy model and the overhead analysis).
+    faults_injected:
+        Number of corrupted results the processor produced during the run.
+    history:
+        Optional per-iteration trace (empty unless tracing was requested).
+    message:
+        Human-readable description of how the run terminated.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    flops: int = 0
+    faults_injected: int = 0
+    history: List[IterationRecord] = field(default_factory=list)
+    message: str = ""
+
+    def objective_trace(self) -> np.ndarray:
+        """Objective values across the recorded history (may be empty)."""
+        return np.asarray([record.objective for record in self.history])
+
+    def best_recorded_objective(self) -> Optional[float]:
+        """Smallest objective value seen in the history, or ``None`` if untraced."""
+        trace = self.objective_trace()
+        finite = trace[np.isfinite(trace)]
+        if finite.size == 0:
+            return None
+        return float(finite.min())

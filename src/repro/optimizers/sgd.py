@@ -1,0 +1,270 @@
+"""Stochastic (sub)gradient descent with the paper's enhancements.
+
+This is the primary optimization engine of application robustification
+(eq. 3.1): the iterate is updated with a noisy gradient evaluated on the
+stochastic processor, while the update itself — step-size computation,
+momentum smoothing, penalty annealing, aggressive-stepping accept/reject
+tests — runs reliably, matching the paper's assumption that "the remaining
+operations ... are assumed to be carried out reliably as they are critical
+for convergence".
+
+Reliable-update safeguards
+--------------------------
+Under the default (mantissa + sign) fault model gradient corruption is
+relative-bounded and plain SGD absorbs it.  For ablation fault models that
+also corrupt exponent bits, a single flip can turn a gradient component into
+``±1e38`` or NaN; no descent method survives applying such a component
+verbatim.  The reliable update step therefore optionally (a) zeroes
+non-finite gradient components, (b) rejects per-component outliers relative
+to the gradient's median magnitude, and (c) clips components to a
+problem-supplied magnitude (``gradient_clip``).  These are cheap scalar
+checks that belong to the protected control phase; they are this library's
+concrete realization of the paper's "control phases of execution are assumed
+to be error-free" assumption, and tests cover each behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+from repro.optimizers.annealing import PenaltyAnnealing
+from repro.optimizers.base import IterationRecord, OptimizationResult
+from repro.optimizers.momentum import MomentumSmoother
+from repro.optimizers.step_schedules import (
+    AggressiveStepping,
+    StepSchedule,
+    make_schedule,
+)
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["SGDOptions", "stochastic_gradient_descent"]
+
+
+@dataclass
+class SGDOptions:
+    """Configuration of a stochastic gradient descent run.
+
+    Attributes
+    ----------
+    iterations:
+        Number of scheduled iterations (the paper uses 1,000 for least
+        squares / IIR and 10,000 for sorting / matching).
+    schedule:
+        Step-size schedule: a :class:`StepSchedule` or one of the names
+        ``"ls"`` (1/t), ``"sqs"`` (1/√t), ``"const"``.
+    base_step:
+        η₀ used when ``schedule`` is given by name.
+    momentum:
+        Momentum coefficient β in (0, 1]; ``None`` disables momentum.
+    aggressive:
+        Optional aggressive-stepping phase appended after the scheduled
+        iterations (the paper's "SGD+AS").
+    annealing:
+        Optional penalty-annealing schedule; only meaningful when the problem
+        exposes a mutable ``penalty`` attribute (i.e. is an
+        :class:`~repro.optimizers.penalty.ExactPenaltyProblem`).
+    gradient_clip:
+        Clip noisy gradient components to ``[-gradient_clip, +gradient_clip]``
+        during the reliable update.  ``None`` disables clipping.
+    outlier_rejection:
+        Zero gradient components whose magnitude exceeds
+        ``outlier_rejection × median(|gradient|)`` during the reliable update.
+        This is the scale-free guard against exponent-bit flips: as the
+        iterate converges and the true gradient shrinks, a corrupted huge
+        component is still recognized and discarded.  ``None`` disables it.
+    zero_nonfinite:
+        Zero NaN/inf gradient components during the reliable update.
+    record_history:
+        Record an :class:`~repro.optimizers.base.IterationRecord` every
+        ``record_every`` iterations (objective evaluated reliably — this is
+        instrumentation, not part of the simulated execution).
+    record_every:
+        Sampling period of the history trace.
+    """
+
+    iterations: int = 1000
+    schedule: Union[StepSchedule, str] = "ls"
+    base_step: float = 1.0
+    momentum: Optional[float] = None
+    aggressive: Optional[AggressiveStepping] = None
+    annealing: Optional[PenaltyAnnealing] = None
+    gradient_clip: Optional[float] = None
+    outlier_rejection: Optional[float] = None
+    zero_nonfinite: bool = True
+    record_history: bool = False
+    record_every: int = 100
+
+    def resolved_schedule(self) -> StepSchedule:
+        """The step schedule as an object (building it from a name if needed)."""
+        if isinstance(self.schedule, StepSchedule):
+            return self.schedule
+        return make_schedule(self.schedule, base_step=self.base_step)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ProblemSpecificationError("iterations must be at least 1")
+        if self.record_every < 1:
+            raise ProblemSpecificationError("record_every must be at least 1")
+        if self.gradient_clip is not None and self.gradient_clip <= 0:
+            raise ProblemSpecificationError("gradient_clip must be positive")
+        if self.outlier_rejection is not None and self.outlier_rejection <= 1:
+            raise ProblemSpecificationError("outlier_rejection must exceed 1")
+
+
+def _sanitize_gradient(gradient: np.ndarray, options: SGDOptions) -> np.ndarray:
+    """Reliable-control-phase guards applied to the noisy gradient."""
+    cleaned = np.asarray(gradient, dtype=np.float64)
+    if options.zero_nonfinite:
+        cleaned = np.where(np.isfinite(cleaned), cleaned, 0.0)
+    if options.outlier_rejection is not None and cleaned.size > 2:
+        magnitudes = np.abs(cleaned)
+        scale = float(np.median(magnitudes))
+        if scale > 0.0:
+            cleaned = np.where(
+                magnitudes > options.outlier_rejection * scale, 0.0, cleaned
+            )
+    if options.gradient_clip is not None:
+        cleaned = np.clip(cleaned, -options.gradient_clip, options.gradient_clip)
+    return cleaned
+
+
+def stochastic_gradient_descent(
+    problem,
+    proc: StochasticProcessor,
+    options: Optional[SGDOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """Minimize ``problem`` with noisy gradients from the stochastic processor.
+
+    Parameters
+    ----------
+    problem:
+        Any object exposing ``dimension``, ``initial_point()``,
+        ``value(x, proc=None)`` and ``gradient(x, proc=None)`` — i.e. an
+        :class:`~repro.optimizers.problem.UnconstrainedProblem` or an
+        :class:`~repro.optimizers.penalty.ExactPenaltyProblem`.
+    proc:
+        The stochastic processor whose noisy FPU evaluates the gradients.
+    options:
+        Solver configuration (:class:`SGDOptions`).
+    x0:
+        Starting iterate; defaults to ``problem.initial_point()``.
+
+    Returns
+    -------
+    OptimizationResult
+        Final iterate, reliably evaluated objective, and accounting data.
+    """
+    options = options if options is not None else SGDOptions()
+    schedule = options.resolved_schedule()
+    smoother = MomentumSmoother(options.momentum) if options.momentum else None
+
+    x = problem.initial_point() if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.shape != (problem.dimension,):
+        raise ProblemSpecificationError(
+            f"initial iterate has shape {x.shape}, expected ({problem.dimension},)"
+        )
+
+    flops_before = proc.flops
+    faults_before = proc.faults_injected
+    history: list[IterationRecord] = []
+    step = schedule(1)
+
+    annealing_active = options.annealing is not None and hasattr(problem, "penalty")
+    for iteration in range(1, options.iterations + 1):
+        if annealing_active:
+            problem.penalty = options.annealing.penalty_at(iteration)
+        gradient = problem.gradient(x, proc)
+        gradient = _sanitize_gradient(gradient, options)
+        direction = smoother.update(gradient) if smoother is not None else gradient
+        if annealing_active:
+            # Each annealing stage is solved as its own (warm-started)
+            # sub-problem: the schedule restarts at every penalty increase and
+            # the step is scaled by 1/μ because the penalty Hessian grows
+            # linearly with μ.  The distance between successive stage optima
+            # shrinks at the same 1/μ rate, so the solver keeps tracking the
+            # vertex as the penalty tightens (§6.2.4).
+            stage_iteration = (iteration - 1) % options.annealing.period + 1
+            step = schedule(stage_iteration) * (
+                options.annealing.initial_penalty / problem.penalty
+            )
+        else:
+            step = schedule(iteration)
+        x = x - step * direction
+        if options.record_history and (
+            iteration % options.record_every == 0 or iteration == options.iterations
+        ):
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    objective=float(problem.value(x)),
+                    step_size=step,
+                    penalty=float(getattr(problem, "penalty", float("nan"))),
+                )
+            )
+
+    total_iterations = options.iterations
+    message = "completed scheduled iterations"
+
+    if options.aggressive is not None:
+        x, extra_iterations, message = _aggressive_phase(
+            problem, proc, x, step, options, smoother
+        )
+        total_iterations += extra_iterations
+
+    result = OptimizationResult(
+        x=x,
+        objective=float(problem.value(x)),
+        iterations=total_iterations,
+        converged=True,
+        flops=proc.flops - flops_before,
+        faults_injected=proc.faults_injected - faults_before,
+        history=history,
+        message=message,
+    )
+    return result
+
+
+def _aggressive_phase(
+    problem,
+    proc: StochasticProcessor,
+    x: np.ndarray,
+    initial_step: float,
+    options: SGDOptions,
+    smoother: Optional[MomentumSmoother],
+):
+    """The variable-step phase appended by "SGD+AS" (§3.2).
+
+    Moves that decrease the (reliably evaluated) cost are accepted and the
+    step grows; moves that increase it are rejected and the step shrinks.
+    The phase ends when the relative change between consecutive accepted
+    costs falls below the configured threshold or the iteration cap is hit.
+    """
+    aggressive = options.aggressive
+    step = max(initial_step, np.finfo(float).tiny)
+    current_cost = float(problem.value(x))
+    iterations_used = 0
+    message = "aggressive stepping reached its iteration cap"
+    for _ in range(aggressive.max_iterations):
+        iterations_used += 1
+        gradient = _sanitize_gradient(problem.gradient(x, proc), options)
+        direction = smoother.update(gradient) if smoother is not None else gradient
+        candidate = x - step * direction
+        candidate_cost = float(problem.value(candidate))
+        if np.isfinite(candidate_cost) and candidate_cost < current_cost:
+            if aggressive.should_stop(current_cost, candidate_cost):
+                x, current_cost = candidate, candidate_cost
+                message = "aggressive stepping converged"
+                break
+            x, current_cost = candidate, candidate_cost
+            step = aggressive.update_step(step, cost_decreased=True)
+        else:
+            step = aggressive.update_step(step, cost_decreased=False)
+            if step < np.finfo(float).tiny:
+                message = "aggressive stepping step size underflowed"
+                break
+    return x, iterations_used, message

@@ -1,0 +1,145 @@
+"""Step-size schedules and the aggressive-stepping controller (§3.2, §6.2.3).
+
+The paper evaluates three ways of choosing the gradient-descent step size:
+
+* **linear scaling (LS)** — ``η_t = η₀ / t``, the classical schedule for
+  strongly convex objectives (Theorem 1, eq. 3.3);
+* **sqrt scaling (SQS)** — ``η_t = η₀ / √t``, which keeps the step larger in
+  later iterations (Theorem 1, eq. 3.2);
+* **aggressive stepping (AS)** — after a fixed number of scheduled
+  iterations, a variable-step phase multiplies the step by a ``success``
+  factor whenever the last move decreased the (reliably evaluated) cost and
+  by a ``fail`` factor whenever it increased it, stopping when the relative
+  change between consecutive steps drops below a threshold.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = [
+    "StepSchedule",
+    "LinearDecaySchedule",
+    "SqrtDecaySchedule",
+    "ConstantSchedule",
+    "AggressiveStepping",
+    "make_schedule",
+]
+
+
+class StepSchedule(ABC):
+    """Deterministic mapping from iteration number to step size."""
+
+    def __init__(self, base_step: float = 1.0) -> None:
+        if base_step <= 0:
+            raise ProblemSpecificationError(f"base step must be positive, got {base_step}")
+        self.base_step = float(base_step)
+
+    @abstractmethod
+    def step_size(self, iteration: int) -> float:
+        """Step size for 1-based iteration ``iteration``."""
+
+    def __call__(self, iteration: int) -> float:
+        if iteration < 1:
+            raise ProblemSpecificationError(
+                f"iterations are 1-based; got {iteration}"
+            )
+        return self.step_size(iteration)
+
+
+class LinearDecaySchedule(StepSchedule):
+    """``η_t = η₀ / t`` — the paper's "linear scaling" (LS)."""
+
+    name = "LS"
+
+    def step_size(self, iteration: int) -> float:
+        return self.base_step / iteration
+
+
+class SqrtDecaySchedule(StepSchedule):
+    """``η_t = η₀ / √t`` — the paper's "sqrt scaling" (SQS)."""
+
+    name = "SQS"
+
+    def step_size(self, iteration: int) -> float:
+        return self.base_step / float(np.sqrt(iteration))
+
+
+class ConstantSchedule(StepSchedule):
+    """``η_t = η₀`` — used in ablations and by the CG trust region."""
+
+    name = "CONST"
+
+    def step_size(self, iteration: int) -> float:
+        return self.base_step
+
+
+_SCHEDULES = {
+    "ls": LinearDecaySchedule,
+    "linear": LinearDecaySchedule,
+    "sqs": SqrtDecaySchedule,
+    "sqrt": SqrtDecaySchedule,
+    "const": ConstantSchedule,
+    "constant": ConstantSchedule,
+}
+
+
+def make_schedule(name: str, base_step: float = 1.0) -> StepSchedule:
+    """Build a step schedule by name (``"ls"``, ``"sqs"``, or ``"const"``)."""
+    try:
+        schedule_cls = _SCHEDULES[name.lower()]
+    except KeyError as exc:
+        raise ProblemSpecificationError(
+            f"unknown step schedule {name!r}; available: {sorted(set(_SCHEDULES))}"
+        ) from exc
+    return schedule_cls(base_step=base_step)
+
+
+@dataclass
+class AggressiveStepping:
+    """The adaptive step-size phase appended after the scheduled iterations.
+
+    Attributes
+    ----------
+    success_factor:
+        Multiplier applied to the step when the last move decreased the cost.
+    fail_factor:
+        Multiplier applied when the last move increased the cost.
+    relative_change_threshold:
+        The phase terminates once ``|f_t - f_{t-1}| / max(|f_{t-1}|, eps)``
+        drops below this threshold.
+    max_iterations:
+        Safety bound on the number of aggressive-stepping iterations.
+    """
+
+    success_factor: float = 1.2
+    fail_factor: float = 0.5
+    relative_change_threshold: float = 1e-6
+    max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.success_factor <= 1.0:
+            raise ProblemSpecificationError("success_factor must exceed 1.0")
+        if not 0.0 < self.fail_factor < 1.0:
+            raise ProblemSpecificationError("fail_factor must lie in (0, 1)")
+        if self.relative_change_threshold <= 0:
+            raise ProblemSpecificationError("relative_change_threshold must be positive")
+        if self.max_iterations < 1:
+            raise ProblemSpecificationError("max_iterations must be at least 1")
+
+    def update_step(self, step: float, cost_decreased: bool) -> float:
+        """Next step size given whether the last move reduced the cost."""
+        factor = self.success_factor if cost_decreased else self.fail_factor
+        return step * factor
+
+    def should_stop(self, previous_cost: float, current_cost: float) -> bool:
+        """Whether the relative cost change is small enough to end the phase."""
+        if not (np.isfinite(previous_cost) and np.isfinite(current_cost)):
+            return False
+        denominator = max(abs(previous_cost), np.finfo(float).eps)
+        return abs(current_cost - previous_cost) / denominator < self.relative_change_threshold

@@ -1,0 +1,30 @@
+"""Stochastic-processor substrate.
+
+This subpackage models the voltage-overscaled processor of the paper:
+
+* :mod:`repro.processor.voltage` — the FPU voltage vs. error-rate curve
+  (Figure 5.2), obtained in the paper from circuit-level simulation and here
+  from a log-linear interpolation through anchor points with the same shape.
+* :mod:`repro.processor.energy` — the energy model used in Figure 6.7:
+  energy = power(voltage) × number of FLOPs.
+* :mod:`repro.processor.stochastic` — :class:`StochasticProcessor`, which
+  combines a fault injector, a scalar FPU, FLOP accounting, and the voltage
+  and energy models into a single object the applications and experiments
+  use.
+* :mod:`repro.processor.profiles` — named processor presets.
+"""
+
+from repro.processor.voltage import VoltageErrorModel, NOMINAL_VOLTAGE, MIN_VOLTAGE
+from repro.processor.energy import EnergyModel
+from repro.processor.stochastic import StochasticProcessor
+from repro.processor.profiles import get_processor, list_processors
+
+__all__ = [
+    "VoltageErrorModel",
+    "EnergyModel",
+    "StochasticProcessor",
+    "NOMINAL_VOLTAGE",
+    "MIN_VOLTAGE",
+    "get_processor",
+    "list_processors",
+]

@@ -1,0 +1,78 @@
+"""Named stochastic-processor presets.
+
+These mirror the configurations exercised in the paper's evaluation: a
+reliable (guardbanded) reference processor, the Leon3-like overscaled
+processor at a configurable fault rate, and ablation variants with different
+fault models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import FaultModelError
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["get_processor", "list_processors"]
+
+
+def _reliable(rng=None, fault_rate: float = 0.0) -> StochasticProcessor:
+    return StochasticProcessor(fault_rate=0.0, fault_model="leon3-fpu", rng=rng)
+
+
+def _leon3_overscaled(rng=None, fault_rate: float = 0.05) -> StochasticProcessor:
+    return StochasticProcessor(fault_rate=fault_rate, fault_model="leon3-fpu", rng=rng)
+
+
+def _double_precision(rng=None, fault_rate: float = 0.05) -> StochasticProcessor:
+    return StochasticProcessor(
+        fault_rate=fault_rate, fault_model="double-precision", rng=rng
+    )
+
+
+def _low_order_only(rng=None, fault_rate: float = 0.05) -> StochasticProcessor:
+    return StochasticProcessor(
+        fault_rate=fault_rate, fault_model="low-order-only", rng=rng
+    )
+
+
+_PROFILES: Dict[str, Callable[..., StochasticProcessor]] = {
+    "reliable": _reliable,
+    "leon3-overscaled": _leon3_overscaled,
+    "double-precision": _double_precision,
+    "low-order-only": _low_order_only,
+}
+
+
+def get_processor(
+    name: str,
+    fault_rate: Optional[float] = None,
+    rng: Union[np.random.Generator, int, None] = None,
+) -> StochasticProcessor:
+    """Build a preset processor by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_processors`.
+    fault_rate:
+        Override the preset's default fault rate (ignored by ``"reliable"``).
+    rng:
+        Seed or generator for the processor's random stream.
+    """
+    try:
+        factory = _PROFILES[name]
+    except KeyError as exc:
+        raise FaultModelError(
+            f"unknown processor profile {name!r}; available: {list_processors()}"
+        ) from exc
+    if fault_rate is None:
+        return factory(rng=rng)
+    return factory(rng=rng, fault_rate=fault_rate)
+
+
+def list_processors() -> list[str]:
+    """Names of the available processor presets."""
+    return sorted(_PROFILES)

@@ -1,0 +1,166 @@
+"""Graph data structures used by the combinatorial applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = ["BipartiteGraph", "FlowNetwork", "WeightedGraph"]
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """A weighted bipartite graph ``G = (U, V, E)`` (§4.4).
+
+    Attributes
+    ----------
+    n_left / n_right:
+        Sizes of the two vertex sets ``U`` and ``V``.
+    edges:
+        Tuple of ``(u, v)`` pairs with ``0 <= u < n_left`` and
+        ``0 <= v < n_right``.
+    weights:
+        Edge weights, positive.
+    """
+
+    n_left: int
+    n_right: int
+    edges: Tuple[Tuple[int, int], ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_left < 1 or self.n_right < 1:
+            raise ProblemSpecificationError("both vertex sets must be non-empty")
+        edges = tuple((int(u), int(v)) for u, v in self.edges)
+        weights = tuple(float(w) for w in self.weights)
+        if len(edges) != len(weights):
+            raise ProblemSpecificationError(
+                f"{len(edges)} edges but {len(weights)} weights"
+            )
+        if len(set(edges)) != len(edges):
+            raise ProblemSpecificationError("duplicate edges are not allowed")
+        for u, v in edges:
+            if not (0 <= u < self.n_left and 0 <= v < self.n_right):
+                raise ProblemSpecificationError(f"edge ({u}, {v}) out of range")
+        for w in weights:
+            if w <= 0:
+                raise ProblemSpecificationError("edge weights must be positive")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    @property
+    def n_vertices(self) -> int:
+        """Total number of vertices (|U| + |V|)."""
+        return self.n_left + self.n_right
+
+    def weight_matrix(self) -> np.ndarray:
+        """Dense ``n_left × n_right`` weight matrix (zero for non-edges)."""
+        W = np.zeros((self.n_left, self.n_right))
+        for (u, v), w in zip(self.edges, self.weights):
+            W[u, v] = w
+        return W
+
+
+@dataclass(frozen=True)
+class FlowNetwork:
+    """A directed capacitated network with a source and a sink (§4.5)."""
+
+    n_nodes: int
+    edges: Tuple[Tuple[int, int], ...]
+    capacities: Tuple[float, ...]
+    source: int
+    sink: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ProblemSpecificationError("a flow network needs at least two nodes")
+        edges = tuple((int(u), int(v)) for u, v in self.edges)
+        capacities = tuple(float(c) for c in self.capacities)
+        if len(edges) != len(capacities):
+            raise ProblemSpecificationError(
+                f"{len(edges)} edges but {len(capacities)} capacities"
+            )
+        if len(set(edges)) != len(edges):
+            raise ProblemSpecificationError("duplicate edges are not allowed")
+        for u, v in edges:
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes) or u == v:
+                raise ProblemSpecificationError(f"edge ({u}, {v}) out of range")
+        for c in capacities:
+            if c <= 0:
+                raise ProblemSpecificationError("capacities must be positive")
+        if not (0 <= self.source < self.n_nodes and 0 <= self.sink < self.n_nodes):
+            raise ProblemSpecificationError("source/sink out of range")
+        if self.source == self.sink:
+            raise ProblemSpecificationError("source and sink must differ")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "capacities", capacities)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.edges)
+
+    def capacity_matrix(self) -> np.ndarray:
+        """Dense ``n × n`` capacity matrix (zero for non-edges)."""
+        C = np.zeros((self.n_nodes, self.n_nodes))
+        for (u, v), c in zip(self.edges, self.capacities):
+            C[u, v] = c
+        return C
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Successor lists keyed by node."""
+        adjacency: Dict[int, List[int]] = {v: [] for v in range(self.n_nodes)}
+        for u, v in self.edges:
+            adjacency[u].append(v)
+        return adjacency
+
+
+@dataclass(frozen=True)
+class WeightedGraph:
+    """A directed graph with positive edge lengths, used by APSP (§4.6)."""
+
+    n_nodes: int
+    edges: Tuple[Tuple[int, int], ...]
+    lengths: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ProblemSpecificationError("a graph needs at least two nodes")
+        edges = tuple((int(u), int(v)) for u, v in self.edges)
+        lengths = tuple(float(l) for l in self.lengths)
+        if len(edges) != len(lengths):
+            raise ProblemSpecificationError(
+                f"{len(edges)} edges but {len(lengths)} lengths"
+            )
+        if len(set(edges)) != len(edges):
+            raise ProblemSpecificationError("duplicate edges are not allowed")
+        for u, v in edges:
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes) or u == v:
+                raise ProblemSpecificationError(f"edge ({u}, {v}) out of range")
+        for length in lengths:
+            if length <= 0:
+                raise ProblemSpecificationError("edge lengths must be positive")
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "lengths", lengths)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return len(self.edges)
+
+    def length_matrix(self, missing: float = np.inf) -> np.ndarray:
+        """Dense ``n × n`` length matrix with ``missing`` for absent edges."""
+        L = np.full((self.n_nodes, self.n_nodes), float(missing))
+        np.fill_diagonal(L, 0.0)
+        for (u, v), length in zip(self.edges, self.lengths):
+            L[u, v] = length
+        return L

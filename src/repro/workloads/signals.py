@@ -1,0 +1,90 @@
+"""Input signals and random stable IIR filters for the §4.2 experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.applications.iir import IIRFilter
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = ["sum_of_sinusoids", "white_noise", "chirp_signal", "random_stable_iir"]
+
+RNGLike = Union[np.random.Generator, int, None]
+
+
+def _generator(rng: RNGLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def sum_of_sinusoids(
+    length: int = 500,
+    frequencies: Sequence[float] = (0.01, 0.05, 0.12),
+    amplitudes: Optional[Sequence[float]] = None,
+    rng: RNGLike = None,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """A sum of sinusoids (normalized frequencies in cycles/sample)."""
+    if length < 1:
+        raise ProblemSpecificationError("signal length must be at least 1")
+    if amplitudes is None:
+        amplitudes = [1.0] * len(frequencies)
+    if len(amplitudes) != len(frequencies):
+        raise ProblemSpecificationError("amplitudes and frequencies must align")
+    t = np.arange(length)
+    signal = np.zeros(length)
+    for amplitude, frequency in zip(amplitudes, frequencies):
+        signal += amplitude * np.sin(2.0 * np.pi * frequency * t)
+    if noise > 0:
+        signal += noise * _generator(rng).standard_normal(length)
+    return signal
+
+
+def white_noise(length: int = 500, rng: RNGLike = None, scale: float = 1.0) -> np.ndarray:
+    """Gaussian white noise of the requested length."""
+    if length < 1:
+        raise ProblemSpecificationError("signal length must be at least 1")
+    return scale * _generator(rng).standard_normal(length)
+
+
+def chirp_signal(length: int = 500, f0: float = 0.005, f1: float = 0.2) -> np.ndarray:
+    """A linear chirp sweeping from normalized frequency ``f0`` to ``f1``."""
+    if length < 1:
+        raise ProblemSpecificationError("signal length must be at least 1")
+    t = np.arange(length)
+    instantaneous = f0 + (f1 - f0) * t / max(length - 1, 1)
+    phase = 2.0 * np.pi * np.cumsum(instantaneous)
+    return np.sin(phase)
+
+
+def random_stable_iir(
+    n_taps: int = 10,
+    rng: RNGLike = None,
+    pole_radius: float = 0.9,
+) -> IIRFilter:
+    """A random stable IIR filter with roughly ``n_taps`` feedback taps.
+
+    The denominator is built as a product of second-order sections whose pole
+    radii are bounded by ``pole_radius`` (< 1), guaranteeing stability; the
+    numerator coefficients are drawn uniformly.  The paper's experiments use
+    a 10-tap filter.
+    """
+    if n_taps < 2:
+        raise ProblemSpecificationError("need at least two feedback taps")
+    if not 0.0 < pole_radius < 1.0:
+        raise ProblemSpecificationError("pole radius must lie in (0, 1)")
+    generator = _generator(rng)
+    n_sections = (n_taps - 1 + 1) // 2
+    denominator = np.array([1.0])
+    for _ in range(n_sections):
+        radius = generator.uniform(0.3, pole_radius)
+        angle = generator.uniform(0.05, np.pi - 0.05)
+        section = np.array([1.0, -2.0 * radius * np.cos(angle), radius**2])
+        denominator = np.convolve(denominator, section)
+    denominator = denominator[:n_taps]
+    numerator = generator.uniform(-1.0, 1.0, size=min(n_taps, denominator.size))
+    numerator[0] = generator.uniform(0.5, 1.5)
+    return IIRFilter(feedforward=numerator, feedback=denominator)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.processor.stochastic import StochasticProcessor
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def reliable_proc():
+    """A fault-free stochastic processor (reference behaviour)."""
+    return StochasticProcessor(fault_rate=0.0, rng=0)
+
+
+@pytest.fixture
+def noisy_proc():
+    """A processor with a moderate 5 % fault rate."""
+    return StochasticProcessor(fault_rate=0.05, rng=1)
+
+
+@pytest.fixture
+def make_proc():
+    """Factory fixture: build a processor at any fault rate with a fixed seed."""
+
+    def _make(fault_rate: float = 0.0, seed: int = 0, **kwargs) -> StochasticProcessor:
+        return StochasticProcessor(fault_rate=fault_rate, rng=seed, **kwargs)
+
+    return _make

@@ -1,0 +1,132 @@
+"""Tests for the conventional baseline algorithms on the noisy FPU."""
+
+import numpy as np
+import pytest
+
+from repro.applications.baselines.floyd_warshall import noisy_floyd_warshall
+from repro.applications.baselines.ford_fulkerson import edmonds_karp_reference, noisy_edmonds_karp
+from repro.applications.baselines.hungarian import noisy_hungarian_matching
+from repro.applications.baselines.iir_direct import noisy_direct_form_filter
+from repro.applications.baselines.sorting_baselines import (
+    noisy_comparison_sort,
+    noisy_insertion_sort,
+    noisy_mergesort,
+    noisy_quicksort,
+)
+from repro.applications.iir import exact_iir_filter
+from repro.applications.matching import optimal_matching
+from repro.applications.shortest_path import exact_all_pairs_shortest_path
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.generators import (
+    random_bipartite_graph,
+    random_flow_network,
+    random_weighted_graph,
+)
+from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
+
+
+def reliable():
+    return StochasticProcessor(fault_rate=0.0, rng=0)
+
+
+class TestSortingBaselines:
+    @pytest.mark.parametrize("sorter", [noisy_quicksort, noisy_mergesort, noisy_insertion_sort])
+    def test_fault_free_sorts_correctly(self, sorter, rng):
+        values = rng.standard_normal(12)
+        np.testing.assert_allclose(sorter(values, reliable()), np.sort(values))
+
+    def test_dispatch(self, rng):
+        values = rng.standard_normal(6)
+        np.testing.assert_allclose(
+            noisy_comparison_sort(values, reliable(), "mergesort"), np.sort(values)
+        )
+
+    def test_flops_are_counted(self, rng):
+        proc = reliable()
+        noisy_quicksort(rng.standard_normal(10), proc)
+        assert proc.flops > 10
+
+    def test_faults_can_corrupt_values(self):
+        # At 100 % fault rate, element moves get corrupted: output values differ.
+        proc = StochasticProcessor(fault_rate=1.0, rng=0)
+        values = np.linspace(1.0, 2.0, 10)
+        output = noisy_quicksort(values, proc)
+        assert not np.array_equal(np.sort(output), np.sort(values))
+
+
+class TestHungarianBaseline:
+    def test_fault_free_finds_optimal_matching(self):
+        graph = random_bipartite_graph(4, 5, 14, rng=11)
+        selected = noisy_hungarian_matching(graph, reliable())
+        optimal, optimal_weight = optimal_matching(graph)
+        weights = dict(zip(graph.edges, graph.weights))
+        selected_weight = sum(weights[e] for e in selected)
+        assert selected_weight == pytest.approx(optimal_weight, rel=1e-6)
+
+    def test_returns_valid_matching_structure(self):
+        graph = random_bipartite_graph(5, 6, 30, rng=12)
+        selected = noisy_hungarian_matching(graph, reliable())
+        lefts = [u for u, _ in selected]
+        rights = [v for _, v in selected]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_terminates_under_heavy_faults(self):
+        graph = random_bipartite_graph(5, 6, 30, rng=13)
+        proc = StochasticProcessor(fault_rate=0.5, rng=1)
+        selected = noisy_hungarian_matching(graph, proc)
+        assert isinstance(selected, frozenset)
+
+
+class TestFordFulkersonBaseline:
+    def test_reference_value(self):
+        network = random_flow_network(7, 14, rng=14)
+        value = edmonds_karp_reference(network)
+        assert value > 0
+
+    def test_noisy_fault_free_matches_reference(self):
+        network = random_flow_network(7, 14, rng=14)
+        _, value = noisy_edmonds_karp(network, reliable())
+        assert value == pytest.approx(edmonds_karp_reference(network), rel=1e-5)
+
+    def test_flow_matrix_respects_capacities_fault_free(self):
+        network = random_flow_network(6, 12, rng=15)
+        flow, _ = noisy_edmonds_karp(network, reliable())
+        capacities = network.capacity_matrix()
+        assert np.all(flow <= capacities + 1e-6)
+
+    def test_terminates_under_heavy_faults(self):
+        network = random_flow_network(6, 12, rng=16)
+        proc = StochasticProcessor(fault_rate=0.5, rng=2)
+        _, value = noisy_edmonds_karp(network, proc)
+        assert np.isfinite(value) or np.isnan(value)
+
+
+class TestFloydWarshallBaseline:
+    def test_fault_free_matches_exact(self):
+        graph = random_weighted_graph(6, 15, rng=17)
+        distances = noisy_floyd_warshall(graph, reliable())
+        np.testing.assert_allclose(distances, exact_all_pairs_shortest_path(graph), rtol=1e-5)
+
+    def test_faults_perturb_distances(self):
+        graph = random_weighted_graph(6, 15, rng=17)
+        proc = StochasticProcessor(fault_rate=0.3, rng=3)
+        distances = noisy_floyd_warshall(graph, proc)
+        exact = exact_all_pairs_shortest_path(graph)
+        assert not np.allclose(distances, exact)
+
+
+class TestIIRDirectBaseline:
+    def test_fault_free_matches_exact_filter(self):
+        filt = random_stable_iir(8, rng=18, pole_radius=0.7)
+        u = sum_of_sinusoids(100)
+        output = noisy_direct_form_filter(filt, u, reliable())
+        np.testing.assert_allclose(output, exact_iir_filter(filt, u), rtol=1e-4, atol=1e-5)
+
+    def test_error_accumulates_with_faults(self):
+        filt = random_stable_iir(8, rng=18, pole_radius=0.7)
+        u = sum_of_sinusoids(200)
+        proc = StochasticProcessor(fault_rate=0.05, rng=4)
+        output = noisy_direct_form_filter(filt, u, proc)
+        exact = exact_iir_filter(filt, u)
+        assert np.linalg.norm(output - exact) > 1e-3

@@ -1,0 +1,111 @@
+"""Unit tests for the IEEE-754 bit-flip primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FaultModelError
+from repro.faults.bitflip import (
+    bit_width,
+    bits_to_float,
+    flip_bit_array,
+    flip_bit_scalar,
+    float_to_bits,
+    relative_error_magnitude,
+)
+
+
+class TestBitWidth:
+    def test_float32_width(self):
+        assert bit_width(np.float32) == 32
+
+    def test_float64_width(self):
+        assert bit_width(np.float64) == 64
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(FaultModelError):
+            bit_width(np.int32)
+
+
+class TestRoundTrip:
+    def test_float_to_bits_round_trip_float64(self):
+        values = np.array([0.0, 1.5, -3.25, 1e300, -1e-300])
+        assert np.array_equal(bits_to_float(float_to_bits(values)), values)
+
+    def test_float_to_bits_round_trip_float32(self):
+        values = np.array([0.0, 1.5, -3.25], dtype=np.float32)
+        round_tripped = bits_to_float(float_to_bits(values, np.float32), np.float32)
+        assert np.array_equal(round_tripped, values)
+
+
+class TestFlipScalar:
+    def test_double_flip_restores_value(self):
+        value = 3.14159
+        once = flip_bit_scalar(value, 17)
+        twice = flip_bit_scalar(once, 17)
+        assert twice == pytest.approx(value)
+
+    def test_sign_bit_flip_negates(self):
+        assert flip_bit_scalar(2.5, 63) == -2.5
+        assert flip_bit_scalar(np.float32(2.5), 31, dtype=np.float32) == -2.5
+
+    def test_low_bit_flip_is_small(self):
+        value = 1.0
+        corrupted = flip_bit_scalar(value, 0)
+        assert corrupted != value
+        assert abs(corrupted - value) < 1e-10
+
+    def test_out_of_range_bit_raises(self):
+        with pytest.raises(FaultModelError):
+            flip_bit_scalar(1.0, 64)
+        with pytest.raises(FaultModelError):
+            flip_bit_scalar(1.0, -1)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=60, deadline=None)
+    def test_flip_is_involution_float32(self, value, bit):
+        once = flip_bit_scalar(value, bit, dtype=np.float32)
+        twice = flip_bit_scalar(once, bit, dtype=np.float32)
+        original = float(np.float32(value))
+        assert twice == original or (np.isnan(twice) and np.isnan(original))
+
+
+class TestFlipArray:
+    def test_only_masked_elements_change(self):
+        values = np.ones(6)
+        mask = np.array([True, False, True, False, False, False])
+        corrupted = flip_bit_array(values, np.full(6, 10), mask=mask)
+        changed = corrupted != values
+        assert np.array_equal(changed, mask)
+
+    def test_no_mask_flips_everything(self):
+        values = np.full(4, 2.0)
+        corrupted = flip_bit_array(values, np.full(4, 5))
+        assert np.all(corrupted != values)
+
+    def test_input_not_modified(self):
+        values = np.ones(3)
+        flip_bit_array(values, np.zeros(3, dtype=int))
+        assert np.all(values == 1.0)
+
+    def test_invalid_bit_position_raises(self):
+        with pytest.raises(FaultModelError):
+            flip_bit_array(np.ones(2), np.array([0, 64]))
+
+    def test_float32_array(self):
+        values = np.ones(3, dtype=np.float32)
+        corrupted = flip_bit_array(values, np.full(3, 31))
+        assert np.all(corrupted == -1.0)
+
+
+class TestErrorMagnitude:
+    def test_nan_maps_to_inf(self):
+        assert relative_error_magnitude(1.0, float("nan")) == float("inf")
+
+    def test_zero_error(self):
+        assert relative_error_magnitude(2.0, 2.0) == 0.0
+
+    def test_relative_scaling(self):
+        assert relative_error_magnitude(10.0, 15.0) == pytest.approx(0.5)

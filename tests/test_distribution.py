@@ -1,0 +1,147 @@
+"""Unit and property tests for the bit-position distributions (Figure 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FaultModelError
+from repro.faults.distribution import (
+    EmulatedBitDistribution,
+    LowOrderBitDistribution,
+    MeasuredBitDistribution,
+    UniformBitDistribution,
+    total_variation_distance,
+)
+from repro.faults.lfsr import LFSR
+
+ALL_DISTRIBUTIONS = [
+    EmulatedBitDistribution,
+    MeasuredBitDistribution,
+    UniformBitDistribution,
+    LowOrderBitDistribution,
+]
+
+
+@pytest.mark.parametrize("distribution_cls", ALL_DISTRIBUTIONS)
+@pytest.mark.parametrize("width", [32, 64])
+class TestPMFBasics:
+    def test_pmf_sums_to_one(self, distribution_cls, width):
+        pmf = distribution_cls(width=width).pmf()
+        assert pmf.shape == (width,)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_cdf_monotone_and_ends_at_one(self, distribution_cls, width):
+        cdf = distribution_cls(width=width).cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_samples_within_range(self, distribution_cls, width):
+        dist = distribution_cls(width=width)
+        samples = dist.sample(np.random.default_rng(0), size=500)
+        assert samples.min() >= 0
+        assert samples.max() < width
+
+    def test_scalar_lfsr_sampling(self, distribution_cls, width):
+        dist = distribution_cls(width=width)
+        lfsr = LFSR(seed=99)
+        samples = [dist.sample_scalar(lfsr) for _ in range(100)]
+        assert min(samples) >= 0
+        assert max(samples) < width
+
+
+class TestEmulatedDistribution:
+    def test_invalid_width_raises(self):
+        with pytest.raises(FaultModelError):
+            EmulatedBitDistribution(width=16)
+
+    def test_high_fraction_out_of_range_raises(self):
+        with pytest.raises(FaultModelError):
+            EmulatedBitDistribution(high_fraction=1.5)
+
+    def test_exponent_bits_never_hit(self):
+        """The default model never corrupts the exponent field (see module docs)."""
+        dist = EmulatedBitDistribution(width=32)
+        pmf = dist.pmf()
+        exponent_bits = slice(23, 31)
+        assert np.all(pmf[exponent_bits] == 0.0)
+
+    def test_sign_bit_receives_mass(self):
+        dist = EmulatedBitDistribution(width=32)
+        assert dist.pmf()[31] > 0
+
+    def test_high_fraction_controls_band_mass(self):
+        dist = EmulatedBitDistribution(width=32, high_fraction=0.7)
+        pmf = dist.pmf()
+        high_mass = pmf[dist.mantissa_bits - (dist.high_bits - 1): dist.mantissa_bits].sum()
+        high_mass += pmf[dist.sign_bit]
+        assert high_mass == pytest.approx(0.7)
+
+    def test_band_overflow_raises(self):
+        with pytest.raises(FaultModelError):
+            EmulatedBitDistribution(width=32, high_bits=20, low_bits=20)
+
+    def test_samples_follow_bimodal_shape(self):
+        dist = EmulatedBitDistribution(width=32, high_fraction=0.6)
+        samples = dist.sample(np.random.default_rng(7), size=5000)
+        high_band_fraction = np.mean(samples >= dist.mantissa_bits - dist.high_bits + 1)
+        assert 0.5 < high_band_fraction < 0.7
+
+
+class TestMeasuredDistribution:
+    def test_no_exponent_mass(self):
+        pmf = MeasuredBitDistribution(width=32).pmf()
+        assert np.all(pmf[23:31] == 0.0)
+
+    def test_peak_near_mantissa_msb(self):
+        dist = MeasuredBitDistribution(width=32)
+        pmf = dist.pmf()
+        assert np.argmax(pmf[:23]) > 15
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(FaultModelError):
+            MeasuredBitDistribution(high_fraction=0.0)
+        with pytest.raises(FaultModelError):
+            MeasuredBitDistribution(peak_sharpness=-1.0)
+
+
+class TestLowOrderDistribution:
+    def test_only_low_bits(self):
+        dist = LowOrderBitDistribution(width=32, n_bits=8)
+        pmf = dist.pmf()
+        assert pmf[:8].sum() == pytest.approx(1.0)
+        assert np.all(pmf[8:] == 0.0)
+
+    def test_invalid_n_bits(self):
+        with pytest.raises(FaultModelError):
+            LowOrderBitDistribution(width=32, n_bits=0)
+
+
+class TestTotalVariation:
+    def test_identical_distributions_have_zero_distance(self):
+        a = EmulatedBitDistribution(width=32)
+        b = EmulatedBitDistribution(width=32)
+        assert total_variation_distance(a, b) == pytest.approx(0.0)
+
+    def test_measured_vs_emulated_is_close_but_not_identical(self):
+        distance = total_variation_distance(
+            MeasuredBitDistribution(width=32), EmulatedBitDistribution(width=32)
+        )
+        assert 0.0 < distance < 0.5
+
+    def test_mismatched_width_raises(self):
+        with pytest.raises(FaultModelError):
+            total_variation_distance(
+                EmulatedBitDistribution(width=32), EmulatedBitDistribution(width=64)
+            )
+
+
+@given(high_fraction=st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=25, deadline=None)
+def test_emulated_mass_split_property(high_fraction):
+    """Low band and high band always split the mass exactly as configured."""
+    dist = EmulatedBitDistribution(width=32, high_fraction=high_fraction)
+    pmf = dist.pmf()
+    low_mass = pmf[: dist.low_bits].sum()
+    assert low_mass == pytest.approx(1.0 - high_fraction, abs=1e-9)

@@ -1,0 +1,54 @@
+"""Unit tests for the LFSR pseudo-random source."""
+
+import pytest
+
+from repro.faults.lfsr import LFSR
+
+
+class TestLFSR:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(seed=0)
+
+    def test_deterministic_sequence(self):
+        a = LFSR(seed=1234)
+        b = LFSR(seed=1234)
+        assert [a.next_uint32() for _ in range(50)] == [b.next_uint32() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = LFSR(seed=1)
+        b = LFSR(seed=2)
+        assert [a.next_uint32() for _ in range(10)] != [b.next_uint32() for _ in range(10)]
+
+    def test_random_in_unit_interval(self):
+        lfsr = LFSR()
+        values = [lfsr.random() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.3 < sum(values) / len(values) < 0.7
+
+    def test_randint_bounds(self):
+        lfsr = LFSR()
+        values = [lfsr.randint(3, 7) for _ in range(500)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            LFSR().randint(5, 4)
+
+    def test_uniform_bounds(self):
+        lfsr = LFSR()
+        values = [lfsr.uniform(-2.0, 2.0) for _ in range(200)]
+        assert all(-2.0 <= v < 2.0 for v in values)
+
+    def test_state_never_zero(self):
+        lfsr = LFSR(seed=1)
+        for _ in range(10_000):
+            assert lfsr.next_uint32() != 0
+
+    def test_choice_weighted(self):
+        lfsr = LFSR()
+        choices = [lfsr.choice_weighted([0.25, 0.5, 1.0]) for _ in range(300)]
+        assert set(choices).issubset({0, 1, 2})
+        assert choices.count(2) > 50
