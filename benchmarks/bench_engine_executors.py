@@ -1,0 +1,67 @@
+"""Executor throughput: the process pool vs the serial reference.
+
+The acceptance scenario for the experiment engine: a 6-rate x 20-trial sweep
+of a compute-heavy SGD-like trial, executed once by the serial reference and
+once by a 4-worker process pool.  The pool must reproduce the serial floats
+exactly (trial seeds derive from the plan, not execution order) and — on
+multi-core hardware — finish measurably faster.  The timing assertion is
+skipped on single-core machines, where a pool can only add overhead; the
+equality assertion always holds.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import print_report
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.reporting import format_figure
+from repro.experiments.results import FigureResult
+from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec
+from repro.experiments.trials import make_gradient_descent_trial
+
+TRIALS = 20
+WORKERS = 4
+
+
+def _sweep() -> SweepSpec:
+    return SweepSpec(
+        trial_functions={"SGD-like": make_gradient_descent_trial(dim=64, iterations=150)},
+        fault_rates=DEFAULT_FAULT_RATES,  # the paper's 6-rate grid
+        trials=TRIALS,
+        seed=2010,
+    )
+
+
+def test_process_executor_matches_serial_and_scales(benchmark, process_engine):
+    start = time.perf_counter()
+    serial_series = ExperimentEngine(executor="serial").run_sweep(_sweep())
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    process_series = process_engine.run_sweep(_sweep())
+    process_seconds = time.perf_counter() - start
+
+    # Bit-identical results: same seeds -> same floats, regardless of executor.
+    assert [s.values for s in process_series] == [s.values for s in serial_series]
+
+    figure = FigureResult(
+        figure_id="Engine benchmark",
+        title=f"Executor equivalence, {len(DEFAULT_FAULT_RATES)} rates x {TRIALS} trials",
+        x_label="fault rate (fraction of FLOPs)",
+        y_label="residual norm (identical across executors)",
+        series=process_series,
+        notes=(
+            f"serial {serial_seconds:.2f}s vs process[{WORKERS}] {process_seconds:.2f}s "
+            f"on {os.cpu_count()} core(s); speedup x{serial_seconds / process_seconds:.2f}"
+        ),
+    )
+    print_report(format_figure(figure))
+
+    if (os.cpu_count() or 1) >= 2:
+        assert process_seconds < serial_seconds, (
+            f"process pool ({process_seconds:.2f}s) not faster than "
+            f"serial ({serial_seconds:.2f}s) on a multi-core host"
+        )
+
+    # Register the parallel sweep as the timed entry.
+    benchmark.pedantic(process_engine.run_sweep, args=(_sweep(),), rounds=1, iterations=1)

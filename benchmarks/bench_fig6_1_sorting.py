@@ -12,10 +12,15 @@ from repro.experiments.figures import figure_6_1
 from repro.experiments.reporting import format_figure
 
 
-def test_fig6_1_sorting(benchmark, reduced_fault_rates):
+def test_fig6_1_sorting(benchmark, reduced_fault_rates, process_engine):
     figure = benchmark.pedantic(
         figure_6_1,
-        kwargs={"trials": 3, "iterations": 4000, "fault_rates": reduced_fault_rates},
+        kwargs={
+            "trials": 3,
+            "iterations": 4000,
+            "fault_rates": reduced_fault_rates,
+            "engine": process_engine,
+        },
         rounds=1,
         iterations=1,
     )

@@ -1,6 +1,5 @@
 """Figure 6.3 — IIR error-to-signal ratio vs fault rate."""
 
-import numpy as np
 
 from benchmarks.conftest import print_report
 from repro.experiments.figures import figure_6_3

@@ -5,10 +5,15 @@ from repro.experiments.figures import figure_6_4
 from repro.experiments.reporting import format_figure
 
 
-def test_fig6_4_matching(benchmark, reduced_fault_rates):
+def test_fig6_4_matching(benchmark, reduced_fault_rates, process_engine):
     figure = benchmark.pedantic(
         figure_6_4,
-        kwargs={"trials": 3, "iterations": 4000, "fault_rates": reduced_fault_rates},
+        kwargs={
+            "trials": 3,
+            "iterations": 4000,
+            "fault_rates": reduced_fault_rates,
+            "engine": process_engine,
+        },
         rounds=1,
         iterations=1,
     )

@@ -6,9 +6,14 @@ but representative scale (fewer trials and iterations than the paper's
 the resulting table, and registers a single-round pytest-benchmark entry that
 times one representative solve.  ``EXPERIMENTS.md`` records the mapping and
 the observed numbers.
+
+Sweeps run through the experiment engine; the fixtures below hand benchmarks
+ready-built engines so executor choice is one line.
 """
 
 import pytest
+
+from repro.experiments.engine import ExperimentEngine
 
 
 def print_report(text: str) -> None:
@@ -22,3 +27,15 @@ def print_report(text: str) -> None:
 def reduced_fault_rates():
     """A compact fault-rate grid covering the paper's range (0.1 % – 50 %)."""
     return (0.001, 0.05, 0.2, 0.5)
+
+
+@pytest.fixture
+def serial_engine():
+    """The reference engine: serial executor, no cache."""
+    return ExperimentEngine(executor="serial")
+
+
+@pytest.fixture
+def process_engine():
+    """A 4-worker process-pool engine (bit-identical to serial, faster)."""
+    return ExperimentEngine(executor="process", workers=4)

@@ -8,7 +8,6 @@ run at a lower voltage and finish the job with less energy.
 Run:  python examples/energy_tradeoff.py
 """
 
-import numpy as np
 
 import repro
 from repro.applications.least_squares import baseline_least_squares, robust_least_squares_cg

@@ -3,45 +3,124 @@
 By default runs a reduced-scale sweep of every figure (a few minutes); pass
 ``--paper-scale`` for the paper's full iteration counts (much slower).
 
+Sweeps execute through the experiment engine, so the executor is selectable
+(``--executor process --workers 4`` parallelizes across cores) and completed
+figures are cached on disk keyed by a content hash of their spec: re-running
+with unchanged parameters replays cached tables instead of recomputing.
+
 Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
+          [--executor {serial,process,batched}] [--workers N]
+          [--only NAME [--only NAME ...]] [--trials N]
+          [--cache-dir DIR | --no-cache] [--refresh] [--progress]
 """
 
 import argparse
+import inspect
+import sys
 from pathlib import Path
 
 from repro.experiments import figures
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.reporting import format_figure, save_figure_report
 
 
-def main() -> None:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's full iteration counts (slow)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to save the tables into")
+    parser.add_argument("--executor", choices=("serial", "process", "batched"),
+                        default="serial", help="how sweep trials execute")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for --executor process")
+    parser.add_argument("--only", action="append", default=None, metavar="NAME",
+                        help="generate only this figure (repeatable), e.g. figure_6_1")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the per-point trial count")
+    parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                        help="figure cache directory (default: .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk figure cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute even when a cached figure exists")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream per-fault-rate progress to stderr")
+    return parser
+
+
+def main() -> None:
+    parser = build_parser()
     args = parser.parse_args()
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    if args.trials is not None and args.trials < 0:
+        parser.error(f"--trials must be non-negative, got {args.trials}")
 
     scale = 1.0 if args.paper_scale else 0.25
-    trials = 5 if args.paper_scale else 3
+    trials = args.trials if args.trials is not None else (5 if args.paper_scale else 3)
     lp_iterations = int(10000 * scale)
     numeric_iterations = int(1000 * max(scale, 0.5))
 
-    generators = {
-        "figure_5_1": lambda: figures.figure_5_1(),
-        "figure_5_2": lambda: figures.figure_5_2(),
-        "figure_6_1": lambda: figures.figure_6_1(trials=trials, iterations=lp_iterations),
-        "figure_6_2": lambda: figures.figure_6_2(trials=trials, iterations=numeric_iterations),
-        "figure_6_3": lambda: figures.figure_6_3(trials=trials, iterations=numeric_iterations),
-        "figure_6_4": lambda: figures.figure_6_4(trials=trials, iterations=lp_iterations),
-        "figure_6_5": lambda: figures.figure_6_5(trials=trials, iterations=lp_iterations),
-        "figure_6_6": lambda: figures.figure_6_6(trials=trials),
-        "figure_6_7": lambda: figures.figure_6_7(trials=max(trials - 1, 2)),
-        "overhead_table": lambda: figures.overhead_table(),
-    }
+    def progress(event) -> None:
+        if event.cell_done:
+            print(f"  {event}", file=sys.stderr)
 
+    engine = ExperimentEngine(
+        executor=args.executor,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress if args.progress else None,
+    )
+
+    # (builder kwargs, cache-key payload) per figure; the payload must cover
+    # every parameter that shapes the figure's values.
+    generators = {
+        "figure_5_1": (figures.figure_5_1, {}),
+        "figure_5_2": (figures.figure_5_2, {}),
+        "figure_6_1": (figures.figure_6_1,
+                       {"trials": trials, "iterations": lp_iterations}),
+        "figure_6_2": (figures.figure_6_2,
+                       {"trials": trials, "iterations": numeric_iterations}),
+        "figure_6_3": (figures.figure_6_3,
+                       {"trials": trials, "iterations": numeric_iterations}),
+        "figure_6_4": (figures.figure_6_4,
+                       {"trials": trials, "iterations": lp_iterations}),
+        "figure_6_5": (figures.figure_6_5,
+                       {"trials": trials, "iterations": lp_iterations}),
+        "figure_6_6": (figures.figure_6_6, {"trials": trials}),
+        "figure_6_7": (figures.figure_6_7, {"trials": max(trials - 1, 2)}),
+        "overhead_table": (figures.overhead_table, {}),
+    }
+    if args.only:
+        unknown = sorted(set(args.only) - set(generators))
+        if unknown:
+            raise SystemExit(f"unknown figure(s) {unknown}; choose from {sorted(generators)}")
+        generators = {name: generators[name] for name in args.only}
+
+    def cache_params(builder, kwargs):
+        # The key must cover every parameter that shapes the figure's values,
+        # including the ones left at their defaults (workload seed, fault-rate
+        # grid, problem sizes): merge the builder's signature defaults with
+        # the explicit overrides so editing a default invalidates the cache.
+        params = {
+            name: parameter.default
+            for name, parameter in inspect.signature(builder).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+        params.update(kwargs)
+        params.pop("engine", None)
+        return params
+
+    sweep_figures = {
+        "figure_6_1", "figure_6_2", "figure_6_3", "figure_6_4", "figure_6_5", "figure_6_6",
+    }
     success_rate_figures = {"figure_6_1", "figure_6_4", "figure_6_5"}
-    for name, generator in generators.items():
-        figure = generator()
+    for name, (builder, kwargs) in generators.items():
+        key = {"figure": name, "params": cache_params(builder, kwargs)}
+        if name in sweep_figures:
+            kwargs = dict(kwargs, engine=engine)
+        figure = engine.run_figure(key, lambda: builder(**kwargs), refresh=args.refresh)
         text = format_figure(figure, use_success_rate=name in success_rate_figures)
         print("\n" + text)
         if args.output is not None:

@@ -7,7 +7,6 @@ form across a range of fault rates.
 Run:  python examples/signal_filtering.py
 """
 
-import numpy as np
 
 import repro
 from repro.applications.iir import baseline_iir_filter, robust_iir_filter

@@ -5,7 +5,6 @@ Run: python scripts/tune_matching.py
 import itertools
 import time
 
-import numpy as np
 
 import repro
 from repro.applications.matching import (
@@ -13,7 +12,6 @@ from repro.applications.matching import (
     optimal_matching,
     round_to_matching,
 )
-from repro.core.transform import RobustSolveConfig, solve_penalized_lp
 from repro.optimizers.annealing import PenaltyAnnealing
 from repro.optimizers.penalty import PenaltyKind
 from repro.optimizers.step_schedules import AggressiveStepping
@@ -22,8 +20,6 @@ from repro.workloads import random_bipartite_graph
 
 def matching_margin(graph):
     """Relative weight gap between the best and second-best matching."""
-    import itertools as it
-
     edges = list(graph.edges)
     weights = dict(zip(graph.edges, graph.weights))
     best, second = 0.0, 0.0

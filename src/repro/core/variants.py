@@ -9,7 +9,7 @@ all agree on what each label means.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.exceptions import ProblemSpecificationError

@@ -19,22 +19,52 @@ Figure    Generator
 §7        :func:`repro.experiments.figures.overhead_table`
 ========  ==========================================================
 
-Each generator returns a :class:`repro.experiments.runner.FigureResult` whose
+Each generator returns a :class:`repro.experiments.results.FigureResult` whose
 series can be printed with :func:`repro.experiments.reporting.format_figure`.
 The ``trials`` / ``iterations`` arguments default to laptop-scale settings;
 the docstrings state the paper's full-scale values.
+
+Sweeps execute through the :class:`~repro.experiments.engine.ExperimentEngine`
+plan/execute subsystem: a sweep is expanded into seeded
+:class:`~repro.experiments.spec.TrialSpec` entries and handed to a pluggable
+executor (``serial``, ``process``, or ``batched``), all of which produce
+bit-identical results.  Completed figures can be cached on disk through
+:class:`~repro.experiments.cache.ResultCache`.
 """
 
-from repro.experiments.runner import (
-    FigureResult,
-    SeriesResult,
-    run_fault_rate_sweep,
-    DEFAULT_FAULT_RATES,
+from repro.experiments.engine import ExperimentEngine, ProgressEvent
+from repro.experiments.executors import (
+    BatchedExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    batchable,
+    get_executor,
+    list_executors,
 )
+from repro.experiments.cache import ResultCache, spec_hash
+from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.spec import (
+    DEFAULT_FAULT_RATES,
+    SweepSpec,
+    TrialSpec,
+)
+from repro.experiments.runner import run_fault_rate_sweep
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
 from repro.experiments import figures
 
 __all__ = [
+    "ExperimentEngine",
+    "ProgressEvent",
+    "SweepSpec",
+    "TrialSpec",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "BatchedExecutor",
+    "batchable",
+    "get_executor",
+    "list_executors",
+    "ResultCache",
+    "spec_hash",
     "FigureResult",
     "SeriesResult",
     "run_fault_rate_sweep",

@@ -1,0 +1,85 @@
+"""On-disk cache of completed figures, keyed by a content hash of the spec.
+
+A cache entry is one JSON file named after the SHA-256 of its canonicalized
+key payload.  The payload is an arbitrary JSON-serializable mapping supplied
+by the caller — for figure reproductions it combines the sweep fingerprint
+(series, rates, trials, seed, fault model) with the figure's workload
+parameters — so any change to the spec changes the hash and invalidates the
+entry, while re-running an unchanged spec is a cheap file read.  Executor
+choice is deliberately *not* part of the key: executors are bit-identical by
+contract, so a figure computed by the process pool satisfies a later serial
+request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.experiments.results import FigureResult
+
+__all__ = ["spec_hash", "ResultCache"]
+
+#: Bumped whenever the cached representation changes incompatibly.
+_SCHEMA_VERSION = 1
+
+
+def spec_hash(payload: Mapping[str, Any]) -> str:
+    """SHA-256 of the canonical JSON form of a cache-key payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of :class:`FigureResult` entries.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first write.  Entries are standalone
+        JSON files, safe to delete individually or wholesale.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, payload: Mapping[str, Any]) -> Path:
+        return self.directory / f"{spec_hash(payload)}.json"
+
+    def load(self, payload: Mapping[str, Any]) -> Optional[FigureResult]:
+        """The cached figure for ``payload``, or ``None`` on miss.
+
+        Unreadable or schema-incompatible entries are treated as misses so a
+        stale cache directory degrades to recomputation, never to an error.
+        """
+        path = self._path(payload)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != _SCHEMA_VERSION:
+            return None
+        try:
+            return FigureResult.from_dict(entry["figure"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, payload: Mapping[str, Any], figure: FigureResult) -> Path:
+        """Write ``figure`` under ``payload``'s hash and return the file path.
+
+        The write goes through a temporary file and an atomic rename so a
+        crashed run cannot leave a truncated entry behind.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(payload)
+        entry = {
+            "schema": _SCHEMA_VERSION,
+            "key": dict(payload),
+            "figure": figure.to_dict(),
+        }
+        tmp_path = path.with_suffix(".tmp")
+        tmp_path.write_text(json.dumps(entry, sort_keys=True, default=str))
+        tmp_path.replace(path)
+        return path

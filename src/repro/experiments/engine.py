@@ -1,0 +1,175 @@
+"""The experiment engine: plan, execute, stream progress, cache figures.
+
+:class:`ExperimentEngine` is the front door of the experiments subsystem.  A
+sweep is first expanded into seeded :class:`~repro.experiments.spec.TrialSpec`
+entries (the *plan*), then handed to a pluggable executor (the *execution*):
+
+>>> engine = ExperimentEngine(executor="process", workers=4)
+>>> series = engine.run_sweep(SweepSpec({"Base": trial_fn}, trials=20))
+
+Because every trial derives its random streams from its own grid coordinates,
+all executors produce bit-identical results; choosing an executor is purely a
+throughput decision.  The engine additionally streams per-(series, rate)
+progress events to an optional callback and memoizes completed figures on
+disk through :class:`~repro.experiments.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.executors import Executor, get_executor
+from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.spec import SweepSpec, TrialSpec
+
+__all__ = ["ProgressEvent", "ExperimentEngine"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress update: trials completed for a (series, fault-rate) cell."""
+
+    series_name: str
+    fault_rate: float
+    completed: int
+    total: int
+    sweep_completed: int
+    sweep_total: int
+
+    @property
+    def cell_done(self) -> bool:
+        """Whether every trial of this (series, fault-rate) cell has finished."""
+        return self.completed >= self.total
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.sweep_completed}/{self.sweep_total}] "
+            f"{self.series_name} @ rate {self.fault_rate:g}: "
+            f"{self.completed}/{self.total} trials"
+        )
+
+
+#: Progress callback signature.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class ExperimentEngine:
+    """Plans and executes fault-rate sweeps; optionally caches figures.
+
+    Parameters
+    ----------
+    executor:
+        Executor name (``"serial"``, ``"process"``, ``"batched"``) or a
+        ready-built :class:`~repro.experiments.executors.Executor`.
+    workers / chunksize:
+        Forwarded to the ``process`` executor; ignored by the others.
+    cache_dir:
+        Enables :meth:`run_figure` memoization when set.
+    progress:
+        Callback receiving a :class:`ProgressEvent` after every completed
+        trial.  Events arrive in completion order, which under the process
+        executor is not plan order.
+    """
+
+    def __init__(
+        self,
+        executor: Union[str, Executor] = "serial",
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        cache_dir: Union[str, Path, None] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if isinstance(executor, Executor):
+            self.executor = executor
+        else:
+            options: Dict[str, Any] = {}
+            if executor == "process":
+                options = {"workers": workers, "chunksize": chunksize}
+            self.executor = get_executor(executor, **options)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+    # Sweep execution
+    # ------------------------------------------------------------------ #
+    def run_sweep(self, sweep: SweepSpec) -> List[SeriesResult]:
+        """Execute a sweep plan and assemble per-series results.
+
+        The returned series mirror the historical serial sweep exactly: one
+        :class:`SeriesResult` per trial function, values indexed by
+        ``[rate_index][trial_index]``, independent of the executor and of
+        completion order.
+        """
+        specs = sweep.expand()
+        emit = self._make_emitter(sweep, specs) if self.progress is not None else None
+        values = self.executor.run(sweep, specs, emit)
+        return self._assemble(sweep, specs, values)
+
+    def _make_emitter(
+        self, sweep: SweepSpec, specs: Sequence[TrialSpec]
+    ) -> Callable[[int, float], None]:
+        cell_counts: Dict[Tuple[int, int], int] = {}
+        state = {"done": 0}
+        progress = self.progress
+        total = len(specs)
+
+        def emit(index: int, value: float) -> None:
+            spec = specs[index]
+            cell = (spec.series_index, spec.rate_index)
+            cell_counts[cell] = cell_counts.get(cell, 0) + 1
+            state["done"] += 1
+            progress(
+                ProgressEvent(
+                    series_name=spec.series_name,
+                    fault_rate=spec.fault_rate,
+                    completed=cell_counts[cell],
+                    total=sweep.trials,
+                    sweep_completed=state["done"],
+                    sweep_total=total,
+                )
+            )
+
+        return emit
+
+    @staticmethod
+    def _assemble(
+        sweep: SweepSpec, specs: Sequence[TrialSpec], values: Sequence[float]
+    ) -> List[SeriesResult]:
+        results = [
+            SeriesResult(name=name, fault_rates=list(sweep.fault_rates))
+            for name in sweep.series_names
+        ]
+        for series in results:
+            series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
+        for spec, value in zip(specs, values):
+            results[spec.series_index].values[spec.rate_index][spec.trial_index] = float(value)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Cached figure reproduction
+    # ------------------------------------------------------------------ #
+    def run_figure(
+        self,
+        key: Mapping[str, Any],
+        build: Callable[[], FigureResult],
+        refresh: bool = False,
+    ) -> FigureResult:
+        """Build a figure, memoized on disk by the content hash of ``key``.
+
+        ``key`` must capture everything that determines the figure's values
+        (workload parameters, trials, iterations, seed, ...).  With no cache
+        directory configured, or with ``refresh=True``, ``build()`` always
+        runs; a completed build is stored so the next run with the same key
+        is a file read.
+        """
+        if self.cache is not None and not refresh:
+            cached = self.cache.load(key)
+            if cached is not None:
+                return cached
+        figure = build()
+        if self.cache is not None:
+            self.cache.store(key, figure)
+        return figure

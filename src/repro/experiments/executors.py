@@ -1,0 +1,261 @@
+"""Pluggable executors for expanded sweep plans.
+
+Every executor consumes a :class:`~repro.experiments.spec.SweepSpec` plus its
+expanded :class:`~repro.experiments.spec.TrialSpec` list and produces one
+metric value per spec, in spec order.  Because each trial seeds itself from
+its own coordinates (see :meth:`TrialSpec.make_stream`), all executors return
+bit-identical results for the same plan:
+
+``serial``
+    The reference executor: one trial at a time, in plan order.
+``process``
+    A ``multiprocessing`` pool (fork start method) running chunks of trials
+    in parallel.  Falls back to serial execution where fork is unavailable
+    or the plan is too small to be worth forking for.
+``batched``
+    Groups the trials of each (series, fault-rate) cell and hands whole
+    batches to trial functions that declare a vectorized implementation via
+    :func:`batchable` (typically built on
+    :func:`repro.faults.vectorized.corrupt_batch`); plain functions fall back
+    to per-trial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.spec import SweepSpec, TrialSpec, run_trial
+
+__all__ = [
+    "EmitFunction",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "BatchedExecutor",
+    "batchable",
+    "get_executor",
+    "list_executors",
+]
+
+#: Callback invoked as each trial completes: ``emit(spec_index, value)``.
+EmitFunction = Callable[[int, float], None]
+
+
+class Executor:
+    """Base class: execute an expanded plan, streaming per-trial results."""
+
+    name = "abstract"
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        """Execute every spec and return values aligned with ``specs``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """The reference executor: trials run one at a time, in plan order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        values: List[float] = []
+        for index, spec in enumerate(specs):
+            value = run_trial(sweep, spec)
+            values.append(value)
+            if emit is not None:
+                emit(index, value)
+        return values
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool executor
+# --------------------------------------------------------------------------- #
+# Trial functions are typically closures over workload arrays and are not
+# picklable, so the plan is handed to workers through fork inheritance: the
+# parent publishes the active (sweep, specs) pair in this module-level slot
+# immediately before forking the pool, and workers receive only spec indices
+# over the task queue.
+_ACTIVE_PLAN: Optional[Tuple[SweepSpec, Sequence[TrialSpec]]] = None
+
+
+def _run_indexed_trial(index: int) -> Tuple[int, float]:
+    sweep, specs = _ACTIVE_PLAN
+    return index, run_trial(sweep, specs[index])
+
+
+class ProcessExecutor(Executor):
+    """Parallel executor: a fork-based worker pool over chunks of trials.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Defaults to ``os.cpu_count()``, capped at the number of
+        trials in the plan.
+    chunksize:
+        Trials per task handed to a worker.  Defaults to roughly four chunks
+        per worker, which amortizes queue overhead while keeping the pool
+        load-balanced across cells of uneven cost.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    @staticmethod
+    def is_supported() -> bool:
+        """Whether fork-based pools are safe on this platform.
+
+        macOS advertises fork but forking a process with an initialized
+        Accelerate/Objective-C runtime is unsafe (workers can abort or
+        deadlock), so the pool is restricted to platforms where fork after
+        numpy initialization is well-behaved; elsewhere execution falls back
+        to the serial reference.
+        """
+        return (
+            sys.platform != "darwin"
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        global _ACTIVE_PLAN
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        workers = min(workers, max(len(specs), 1))
+        if not self.is_supported() or workers <= 1 or len(specs) <= 1:
+            return SerialExecutor().run(sweep, specs, emit)
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(specs) // (workers * 4))
+        values: List[Optional[float]] = [None] * len(specs)
+        context = multiprocessing.get_context("fork")
+        if _ACTIVE_PLAN is not None:
+            raise RuntimeError("ProcessExecutor is not reentrant within one process")
+        _ACTIVE_PLAN = (sweep, specs)
+        try:
+            with context.Pool(processes=workers) as pool:
+                iterator = pool.imap_unordered(
+                    _run_indexed_trial, range(len(specs)), chunksize=chunksize
+                )
+                for index, value in iterator:
+                    values[index] = value
+                    if emit is not None:
+                        emit(index, value)
+        finally:
+            _ACTIVE_PLAN = None
+        return values  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# Batched executor
+# --------------------------------------------------------------------------- #
+def batchable(run_batch: Callable) -> Callable:
+    """Attach a vectorized batch implementation to a trial function.
+
+    ``run_batch(procs, streams)`` receives one processor and one random
+    stream per trial of a (series, fault-rate) cell — constructed exactly as
+    the serial path constructs them — and returns one metric value per trial.
+    The implementation must corrupt each trial's data with that trial's own
+    generator (see :func:`repro.faults.vectorized.corrupt_batch`) so that the
+    batched result stays bit-identical to serial execution.
+    """
+
+    def attach(function: Callable) -> Callable:
+        function.run_batch = run_batch
+        return function
+
+    return attach
+
+
+class BatchedExecutor(Executor):
+    """Vectorizing executor: one call per (series, fault-rate) trial batch.
+
+    Trial functions decorated with :func:`batchable` run their whole batch in
+    one vectorized call; undecorated functions run per-trial, identically to
+    the serial executor.
+    """
+
+    name = "batched"
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        cells: Dict[Tuple[int, int], List[Tuple[int, TrialSpec]]] = {}
+        for index, spec in enumerate(specs):
+            cells.setdefault((spec.series_index, spec.rate_index), []).append((index, spec))
+        values: List[Optional[float]] = [None] * len(specs)
+        for cell in cells.values():
+            function = sweep.trial_functions[cell[0][1].series_name]
+            run_batch = getattr(function, "run_batch", None)
+            if run_batch is None or len(cell) == 1:
+                for index, spec in cell:
+                    values[index] = run_trial(sweep, spec)
+                    if emit is not None:
+                        emit(index, values[index])
+                continue
+            streams = [spec.make_stream() for _, spec in cell]
+            procs = [
+                spec.make_processor(stream)
+                for (_, spec), stream in zip(cell, streams)
+            ]
+            batch_values = [float(v) for v in run_batch(procs, streams)]
+            if len(batch_values) != len(cell):
+                raise ValueError(
+                    f"run_batch returned {len(batch_values)} values "
+                    f"for a batch of {len(cell)} trials"
+                )
+            for (index, _), value in zip(cell, batch_values):
+                values[index] = value
+                if emit is not None:
+                    emit(index, value)
+        return values  # type: ignore[return-value]
+
+
+_EXECUTORS: Dict[str, Callable[..., Executor]] = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+    "batched": BatchedExecutor,
+}
+
+
+def get_executor(name: str, **options) -> Executor:
+    """Build an executor by registry name (``serial``/``process``/``batched``)."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {list_executors()}"
+        ) from None
+    return factory(**options)
+
+
+def list_executors() -> List[str]:
+    """Names of the available executors."""
+    return sorted(_EXECUTORS)

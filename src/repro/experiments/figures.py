@@ -10,7 +10,7 @@ same arguments and are recorded in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.applications.sorting import (
     robust_sort,
 )
 from repro.core.variants import sgd_options_for_variant
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     DEFAULT_FAULT_RATES,
     FigureResult,
@@ -127,6 +128,7 @@ def figure_6_1(
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     array_size: int = 5,
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.1: sorting success rate vs fault rate.
 
@@ -157,6 +159,7 @@ def figure_6_1(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.1",
@@ -176,6 +179,7 @@ def figure_6_2(
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     shape: tuple = (100, 10),
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.2: least-squares relative error vs fault rate.
 
@@ -202,6 +206,7 @@ def figure_6_2(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.2",
@@ -222,6 +227,7 @@ def figure_6_3(
     signal_length: int = 500,
     n_taps: int = 10,
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.3: IIR error-to-signal ratio vs fault rate.
 
@@ -253,6 +259,7 @@ def figure_6_3(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.3",
@@ -289,6 +296,7 @@ def figure_6_4(
     iterations: int = 10000,
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.4: bipartite matching success rate vs fault rate.
 
@@ -319,6 +327,7 @@ def figure_6_4(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.4",
@@ -334,6 +343,7 @@ def figure_6_5(
     iterations: int = 10000,
     fault_rates: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.5),
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.5: effect of gradient-descent enhancements on matching success.
 
@@ -366,6 +376,7 @@ def figure_6_5(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.5",
@@ -385,6 +396,7 @@ def figure_6_6(
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     shape: tuple = (100, 10),
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """Figure 6.6: CG-based least squares accuracy vs the QR/SVD/Cholesky baselines."""
     A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
@@ -409,6 +421,7 @@ def figure_6_6(
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Figure 6.6",
@@ -508,6 +521,7 @@ def momentum_study(
     iterations: int = 5000,
     fault_rate: float = 0.1,
     seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
     """§6.2.2: effect of momentum (β = 0.5) on sorting and matching success."""
     values = random_array(5, rng=seed, min_gap=0.08)
@@ -543,6 +557,7 @@ def momentum_study(
         fault_rates=(fault_rate,),
         trials=trials,
         seed=seed,
+        engine=engine,
     )
     return FigureResult(
         figure_id="Section 6.2.2",

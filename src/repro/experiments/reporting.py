@@ -11,7 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Union
 
-from repro.experiments.runner import FigureResult
+from repro.experiments.results import FigureResult
 
 __all__ = ["figure_to_rows", "format_figure", "save_figure_report"]
 

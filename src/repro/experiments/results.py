@@ -1,0 +1,121 @@
+"""Result containers for reproduced figures.
+
+:class:`SeriesResult` holds one curve of a figure (per-fault-rate trial
+values); :class:`FigureResult` bundles the curves of one reproduced figure
+with its presentation metadata.  Both round-trip through plain dictionaries
+(:meth:`FigureResult.to_dict` / :meth:`FigureResult.from_dict`) so the
+experiment engine can cache completed figures on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.metrics.statistics import TrialSummary, summarize
+
+__all__ = ["SeriesResult", "FigureResult"]
+
+
+@dataclass
+class SeriesResult:
+    """One curve of a figure: a named series over the fault-rate grid."""
+
+    name: str
+    fault_rates: List[float] = field(default_factory=list)
+    values: List[List[float]] = field(default_factory=list)
+
+    def summaries(self) -> List[TrialSummary]:
+        """Per-fault-rate summaries of the trial values."""
+        return [summarize(v) for v in self.values]
+
+    def means(self) -> List[float]:
+        """Per-fault-rate means (the quantity plotted in the paper's figures)."""
+        return [s.mean for s in self.summaries()]
+
+    def success_rates(self) -> List[float]:
+        """Per-fault-rate fraction of trials with value >= 0.5 (for 0/1 series).
+
+        A fault rate with no recorded trials yields ``nan`` rather than a
+        misleading 0 % success rate: "no data" and "every trial failed" are
+        different outcomes and the reports must not conflate them.
+        """
+        return [
+            float(np.mean([1.0 if v >= 0.5 else 0.0 for v in trial_values]))
+            if trial_values
+            else float("nan")
+            for trial_values in self.values
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of this series (for the on-disk result cache)."""
+        return {
+            "name": self.name,
+            "fault_rates": [float(r) for r in self.fault_rates],
+            "values": [[float(v) for v in trial_values] for trial_values in self.values],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SeriesResult":
+        """Rebuild a series from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            fault_rates=[float(r) for r in data["fault_rates"]],
+            values=[[float(v) for v in trial_values] for trial_values in data["values"]],
+        )
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure plus presentation metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[SeriesResult] = field(default_factory=list)
+    notes: str = ""
+
+    def series_named(self, name: str) -> SeriesResult:
+        """Look up a series by name."""
+        for entry in self.series:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no series named {name!r} in figure {self.figure_id}")
+
+    @property
+    def fault_rates(self) -> List[float]:
+        """The x-axis grid: taken from the first series that recorded one.
+
+        Falls back over empty series (a series that has not run yet has no
+        fault rates) and returns ``[]`` for a figure with no populated series.
+        """
+        for entry in self.series:
+            if entry.fault_rates:
+                return entry.fault_rates
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of this figure (for the on-disk result cache)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": self.notes,
+            "series": [entry.to_dict() for entry in self.series],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FigureResult":
+        """Rebuild a figure from :meth:`to_dict` output."""
+        return cls(
+            figure_id=str(data["figure_id"]),
+            title=str(data["title"]),
+            x_label=str(data["x_label"]),
+            y_label=str(data["y_label"]),
+            notes=str(data.get("notes", "")),
+            series=[SeriesResult.from_dict(entry) for entry in data.get("series", [])],
+        )

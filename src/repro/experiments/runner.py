@@ -1,20 +1,22 @@
-"""Generic fault-rate sweep machinery.
+"""Generic fault-rate sweep machinery (compatibility wrapper).
 
 The paper's evaluation repeatedly runs an application implementation at a
 series of fault rates, collects a quality metric per trial, and reports the
-aggregate (success rate or mean error) per fault rate.
-:func:`run_fault_rate_sweep` implements that loop once for every figure.
+aggregate (success rate or mean error) per fault rate.  The sweep itself now
+lives in the :mod:`repro.experiments.engine` plan/execute subsystem;
+:func:`run_fault_rate_sweep` is kept as the historical entry point and simply
+plans a :class:`~repro.experiments.spec.SweepSpec` and hands it to an
+:class:`~repro.experiments.engine.ExperimentEngine`.  Results are
+bit-identical to the original serial triple loop for every executor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.metrics.statistics import TrialSummary, summarize
-from repro.processor.stochastic import StochasticProcessor
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec, TrialFunction
 
 __all__ = [
     "DEFAULT_FAULT_RATES",
@@ -24,64 +26,6 @@ __all__ = [
     "run_fault_rate_sweep",
 ]
 
-#: Default fault-rate grid ("% of FLOPs" in the paper, here as fractions).
-DEFAULT_FAULT_RATES: tuple = (0.001, 0.01, 0.05, 0.1, 0.2, 0.5)
-
-#: A trial function receives a freshly configured stochastic processor and a
-#: per-trial random generator, runs one experiment trial, and returns the
-#: trial's metric value (success as 0.0/1.0, or an error value).
-TrialFunction = Callable[[StochasticProcessor, np.random.Generator], float]
-
-
-@dataclass
-class SeriesResult:
-    """One curve of a figure: a named series over the fault-rate grid."""
-
-    name: str
-    fault_rates: List[float] = field(default_factory=list)
-    values: List[List[float]] = field(default_factory=list)
-
-    def summaries(self) -> List[TrialSummary]:
-        """Per-fault-rate summaries of the trial values."""
-        return [summarize(v) for v in self.values]
-
-    def means(self) -> List[float]:
-        """Per-fault-rate means (the quantity plotted in the paper's figures)."""
-        return [s.mean for s in self.summaries()]
-
-    def success_rates(self) -> List[float]:
-        """Per-fault-rate fraction of trials with value >= 0.5 (for 0/1 series)."""
-        return [
-            float(np.mean([1.0 if v >= 0.5 else 0.0 for v in trial_values]))
-            if trial_values
-            else 0.0
-            for trial_values in self.values
-        ]
-
-
-@dataclass
-class FigureResult:
-    """All series of one reproduced figure plus presentation metadata."""
-
-    figure_id: str
-    title: str
-    x_label: str
-    y_label: str
-    series: List[SeriesResult] = field(default_factory=list)
-    notes: str = ""
-
-    def series_named(self, name: str) -> SeriesResult:
-        """Look up a series by name."""
-        for entry in self.series:
-            if entry.name == name:
-                return entry
-        raise KeyError(f"no series named {name!r} in figure {self.figure_id}")
-
-    @property
-    def fault_rates(self) -> List[float]:
-        """The x-axis grid (taken from the first series)."""
-        return self.series[0].fault_rates if self.series else []
-
 
 def run_fault_rate_sweep(
     trial_functions: Dict[str, TrialFunction],
@@ -89,30 +33,30 @@ def run_fault_rate_sweep(
     trials: int = 5,
     seed: int = 0,
     fault_model: str = "leon3-fpu",
+    engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> List[SeriesResult]:
     """Run each named trial function over the fault-rate grid.
 
     Every (series, fault rate, trial) triple gets its own
-    :class:`StochasticProcessor` seeded deterministically from ``seed``, so
-    sweeps are reproducible and the random streams of different series do not
-    interact.
+    :class:`~repro.processor.stochastic.StochasticProcessor` seeded
+    deterministically from ``seed``, so sweeps are reproducible and the
+    random streams of different series do not interact.
+
+    ``engine`` selects how the expanded plan executes: ``None`` uses the
+    serial reference executor, a string (``"serial"``, ``"process"``,
+    ``"batched"``) builds a default engine with that executor, and a
+    ready-built :class:`~repro.experiments.engine.ExperimentEngine` is used
+    as-is.  The choice affects throughput only — results are identical.
     """
-    results: List[SeriesResult] = []
-    for series_index, (name, function) in enumerate(trial_functions.items()):
-        series = SeriesResult(name=name)
-        for rate_index, fault_rate in enumerate(fault_rates):
-            trial_values: List[float] = []
-            for trial in range(trials):
-                stream = np.random.default_rng(
-                    [seed, series_index, rate_index, trial]
-                )
-                proc = StochasticProcessor(
-                    fault_rate=float(fault_rate),
-                    fault_model=fault_model,
-                    rng=np.random.default_rng(stream.integers(0, 2**63 - 1)),
-                )
-                trial_values.append(float(function(proc, stream)))
-            series.fault_rates.append(float(fault_rate))
-            series.values.append(trial_values)
-        results.append(series)
-    return results
+    if engine is None:
+        engine = ExperimentEngine()
+    elif isinstance(engine, str):
+        engine = ExperimentEngine(executor=engine)
+    sweep = SweepSpec(
+        trial_functions=dict(trial_functions),
+        fault_rates=tuple(fault_rates),
+        trials=trials,
+        seed=seed,
+        fault_model=fault_model,
+    )
+    return engine.run_sweep(sweep)

@@ -1,0 +1,142 @@
+"""Sweep plans: expanding a fault-rate sweep into seeded trial specs.
+
+The experiment engine separates *planning* from *execution*.  A
+:class:`SweepSpec` describes a whole (series x fault-rate x trial) grid;
+:meth:`SweepSpec.expand` flattens it into :class:`TrialSpec` entries, each of
+which derives its random streams purely from its own coordinates.  Because a
+trial's seed never depends on execution order, every executor — serial,
+process pool, or batched — produces bit-identical results for the same spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.faults.models import FaultModel
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "TrialFunction",
+    "TrialSpec",
+    "SweepSpec",
+    "run_trial",
+]
+
+#: Default fault-rate grid ("% of FLOPs" in the paper, here as fractions).
+DEFAULT_FAULT_RATES: tuple = (0.001, 0.01, 0.05, 0.1, 0.2, 0.5)
+
+#: A trial function receives a freshly configured stochastic processor and a
+#: per-trial random generator, runs one experiment trial, and returns the
+#: trial's metric value (success as 0.0/1.0, or an error value).
+TrialFunction = Callable[[StochasticProcessor, np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully determined experiment trial.
+
+    The spec carries everything needed to run the trial except the trial
+    function itself (functions are looked up by ``series_name`` in the owning
+    :class:`SweepSpec`, which keeps specs cheap to ship to worker processes).
+    """
+
+    series_name: str
+    series_index: int
+    rate_index: int
+    trial_index: int
+    fault_rate: float
+    seed: int
+    fault_model: Union[str, FaultModel] = "leon3-fpu"
+
+    def make_stream(self) -> np.random.Generator:
+        """The trial's private random stream, derived only from coordinates.
+
+        This reproduces the seeding scheme of the original serial sweep loop
+        (seed, series, rate, trial), so engine results are bit-identical to
+        the historical ``run_fault_rate_sweep`` output.
+        """
+        return np.random.default_rng(
+            [self.seed, self.series_index, self.rate_index, self.trial_index]
+        )
+
+    def make_processor(self, stream: np.random.Generator) -> StochasticProcessor:
+        """A fresh processor for this trial, seeded from ``stream``."""
+        return StochasticProcessor(
+            fault_rate=float(self.fault_rate),
+            fault_model=self.fault_model,
+            rng=np.random.default_rng(int(stream.integers(0, 2**63 - 1))),
+        )
+
+
+@dataclass
+class SweepSpec:
+    """A full fault-rate sweep: named trial functions over a rate grid."""
+
+    trial_functions: Dict[str, TrialFunction]
+    fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES
+    trials: int = 5
+    seed: int = 0
+    fault_model: Union[str, FaultModel] = "leon3-fpu"
+    _specs: List[TrialSpec] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.fault_rates = tuple(float(rate) for rate in self.fault_rates)
+        if self.trials < 0:
+            raise ValueError(f"trials must be non-negative, got {self.trials}")
+        self._specs = None
+
+    @property
+    def series_names(self) -> List[str]:
+        """Series names in declaration order."""
+        return list(self.trial_functions.keys())
+
+    def __len__(self) -> int:
+        return len(self.trial_functions) * len(self.fault_rates) * self.trials
+
+    def expand(self) -> List[TrialSpec]:
+        """Flatten the sweep grid into per-trial specs (cached, stable order)."""
+        if self._specs is None:
+            fault_model = self.fault_model
+            self._specs = [
+                TrialSpec(
+                    series_name=name,
+                    series_index=series_index,
+                    rate_index=rate_index,
+                    trial_index=trial_index,
+                    fault_rate=fault_rate,
+                    seed=self.seed,
+                    fault_model=fault_model,
+                )
+                for series_index, name in enumerate(self.series_names)
+                for rate_index, fault_rate in enumerate(self.fault_rates)
+                for trial_index in range(self.trials)
+            ]
+        return self._specs
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Content description of the sweep grid, for cache keys.
+
+        The fingerprint covers the grid (series names, rates, trials, seed,
+        fault model); it cannot see inside trial-function closures, so cache
+        users must add workload parameters to their key payload themselves.
+        """
+        model = self.fault_model
+        return {
+            "series": self.series_names,
+            "fault_rates": list(self.fault_rates),
+            "trials": int(self.trials),
+            "seed": int(self.seed),
+            "fault_model": model.name if isinstance(model, FaultModel) else str(model),
+        }
+
+
+def run_trial(sweep: SweepSpec, spec: TrialSpec) -> float:
+    """Execute one trial of ``sweep`` exactly as the serial reference does."""
+    function = sweep.trial_functions[spec.series_name]
+    stream = spec.make_stream()
+    proc = spec.make_processor(stream)
+    return float(function(proc, stream))

@@ -1,0 +1,87 @@
+"""Reusable synthetic trial functions for the experiment engine.
+
+These microworkloads exercise the engine's executors without dragging in a
+full application solve.  :func:`make_noisy_sum_trial` additionally carries a
+vectorized batch implementation (via
+:func:`~repro.experiments.executors.batchable`) that routes whole trial
+batches through :func:`repro.faults.vectorized.corrupt_batch`, making it the
+reference workload for batched-executor equivalence tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.experiments.executors import batchable
+from repro.experiments.spec import TrialFunction
+from repro.faults.vectorized import corrupt_batch
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = ["make_noisy_sum_trial", "make_gradient_descent_trial"]
+
+
+def make_noisy_sum_trial(n: int = 256, ops_per_element: int = 8) -> TrialFunction:
+    """A trial that sums a corrupted random vector; batchable.
+
+    The serial path draws a vector from the trial stream, corrupts it on the
+    processor, and returns the sum.  The attached batch implementation stacks
+    every trial of a (series, rate) cell and corrupts the whole stack in one
+    :func:`corrupt_batch` pass — using each trial's own generators in the
+    same order as the serial path, so results are bit-identical.
+    """
+
+    def run_batch(
+        procs: List[StochasticProcessor], streams: List[np.random.Generator]
+    ) -> List[float]:
+        stacked = np.stack([stream.random(n) for stream in streams])
+        with np.errstate(over="ignore", invalid="ignore"):
+            stacked = stacked.astype(procs[0].dtype)
+        corrupted, faults_per_trial = corrupt_batch(
+            stacked,
+            fault_rate=procs[0].fault_rate,
+            ops_per_element=ops_per_element,
+            bit_distribution=procs[0].injector.bit_distribution,
+            rngs=[proc.injector.rng for proc in procs],
+        )
+        for proc in procs:
+            proc.count_flops(ops_per_element * n)
+        with np.errstate(over="ignore", invalid="ignore"):
+            rows = corrupted.astype(np.float64)
+        return [float(np.sum(row)) for row in rows]
+
+    @batchable(run_batch)
+    def trial(proc: StochasticProcessor, stream: np.random.Generator) -> float:
+        corrupted = proc.corrupt(stream.random(n), ops_per_element=ops_per_element)
+        return float(np.sum(corrupted))
+
+    return trial
+
+
+def make_gradient_descent_trial(
+    dim: int = 64, iterations: int = 60, workload_seed: int = 0
+) -> TrialFunction:
+    """A compute-heavy SGD-like trial for executor throughput benchmarks.
+
+    Runs a fixed number of noisy gradient steps on a random quadratic; the
+    per-trial cost is dominated by matrix-vector products, which is the cost
+    profile of the paper's robust solvers.  Deterministic given the trial's
+    processor and stream.
+    """
+    workload_rng = np.random.default_rng(workload_seed)
+    basis = workload_rng.standard_normal((dim, dim)) / np.sqrt(dim)
+    matrix = basis @ basis.T + np.eye(dim)
+    target = workload_rng.standard_normal(dim)
+
+    def trial(proc: StochasticProcessor, stream: np.random.Generator) -> float:
+        x = stream.standard_normal(dim)
+        step = 0.05
+        for _ in range(iterations):
+            gradient = proc.corrupt(matrix @ x - target, ops_per_element=2 * dim)
+            x = x - step * gradient
+            x = np.clip(x, -1e6, 1e6)
+        residual = matrix @ x - target
+        return float(np.sqrt(np.sum(residual**2)))
+
+    return trial

@@ -28,7 +28,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.exceptions import FaultModelError
-from repro.faults.bitflip import bit_width, flip_bit_array, flip_bit_scalar
+from repro.faults.bitflip import bit_width, flip_bit_scalar
 from repro.faults.distribution import BitPositionDistribution, EmulatedBitDistribution
 from repro.faults.lfsr import LFSR
 from repro.faults.vectorized import corrupt_array, effective_fault_probability
@@ -106,6 +106,11 @@ class FaultInjector:
     def bit_distribution(self) -> BitPositionDistribution:
         """Distribution over which bit of a faulty result is flipped."""
         return self._bit_distribution
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The injector's random generator (used by batched fault kernels)."""
+        return self._rng
 
     @property
     def fault_rate(self) -> float:

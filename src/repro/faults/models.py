@@ -7,8 +7,8 @@ configured by name (``"leon3-fpu"``) rather than by re-assembling the pieces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Union
 
 import numpy as np
 

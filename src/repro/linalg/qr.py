@@ -13,7 +13,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.linalg.ops import (
-    noisy_matmul,
     noisy_matvec,
     noisy_norm2,
     noisy_outer,

@@ -25,7 +25,7 @@ to be error-free" assumption, and tests cover each behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np

@@ -1,9 +1,29 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis settings profiles for the test suite."""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.processor.stochastic import StochasticProcessor
+
+# Property tests run under named Hypothesis profiles: "ci" digs deeper (more
+# examples, no deadline — shared runners have noisy timing) while "local"
+# keeps the suite fast at a desk.  Select with HYPOTHESIS_PROFILE=ci; the
+# default is "local".
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "local",
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "local"))
 
 
 @pytest.fixture

@@ -1,0 +1,283 @@
+"""Tests for the experiment engine: specs, executors, caching, progress."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.cache import ResultCache, spec_hash
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.executors import (
+    BatchedExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    list_executors,
+)
+from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.runner import run_fault_rate_sweep
+from repro.experiments.spec import SweepSpec, TrialSpec, run_trial
+from repro.experiments.trials import make_gradient_descent_trial, make_noisy_sum_trial
+from repro.faults.distribution import EmulatedBitDistribution
+from repro.faults.vectorized import corrupt_array, corrupt_batch
+from repro.processor.stochastic import StochasticProcessor
+
+
+def noisy_metric(proc, stream):
+    corrupted = proc.corrupt(stream.random(32), ops_per_element=4)
+    return float(np.sum(corrupted)) + float(stream.random())
+
+
+def make_sweep(trials=3, **kwargs):
+    defaults = dict(
+        trial_functions={"a": noisy_metric, "b": noisy_metric},
+        fault_rates=(0.0, 0.05, 0.5),
+        trials=trials,
+        seed=99,
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSpec:
+    def test_expand_order_and_length(self):
+        sweep = make_sweep(trials=2)
+        specs = sweep.expand()
+        assert len(specs) == len(sweep) == 2 * 3 * 2
+        assert specs[0] == TrialSpec("a", 0, 0, 0, 0.0, 99)
+        # series-major, then rate, then trial
+        assert [s.series_name for s in specs[:6]] == ["a"] * 6
+        assert [s.trial_index for s in specs[:4]] == [0, 1, 0, 1]
+
+    def test_trial_seeds_independent_of_order(self):
+        sweep = make_sweep()
+        specs = sweep.expand()
+        forward = [run_trial(sweep, s) for s in specs]
+        backward = [run_trial(sweep, s) for s in reversed(specs)]
+        assert forward == backward[::-1]
+
+    def test_fingerprint_tracks_grid(self):
+        base = make_sweep().fingerprint()
+        assert base["series"] == ["a", "b"]
+        assert make_sweep(seed=7).fingerprint() != base
+        assert make_sweep(trials=4).fingerprint() != base
+        assert spec_hash(make_sweep().fingerprint()) == spec_hash(base)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            make_sweep(trials=-1)
+
+
+class TestExecutorEquivalence:
+    """All executors must return identical floats for the same plan."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return ExperimentEngine(SerialExecutor()).run_sweep(make_sweep())
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "batched"])
+    def test_matches_serial_reference(self, executor, reference):
+        options = {"workers": 4} if executor == "process" else {}
+        engine = ExperimentEngine(get_executor(executor, **options))
+        result = engine.run_sweep(make_sweep())
+        assert [s.values for s in result] == [s.values for s in reference]
+        assert [s.name for s in result] == [s.name for s in reference]
+        assert [s.fault_rates for s in result] == [s.fault_rates for s in reference]
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "batched"])
+    def test_batchable_trial_identical_across_executors(self, executor):
+        def sweep():
+            return SweepSpec(
+                {"noise": make_noisy_sum_trial(n=48, ops_per_element=6)},
+                fault_rates=(0.0, 0.1, 0.5),
+                trials=5,
+                seed=11,
+            )
+
+        options = {"workers": 2} if executor == "process" else {}
+        engine = ExperimentEngine(get_executor(executor, **options))
+        result = engine.run_sweep(sweep())
+        reference = ExperimentEngine().run_sweep(sweep())
+        assert [s.values for s in result] == [s.values for s in reference]
+
+    def test_matches_legacy_serial_loop(self):
+        """The engine reproduces the historical triple-loop bit-for-bit."""
+        sweep = make_sweep()
+        legacy = []
+        for series_index, (name, function) in enumerate(sweep.trial_functions.items()):
+            per_series = []
+            for rate_index, fault_rate in enumerate(sweep.fault_rates):
+                trial_values = []
+                for trial in range(sweep.trials):
+                    stream = np.random.default_rng(
+                        [sweep.seed, series_index, rate_index, trial]
+                    )
+                    proc = StochasticProcessor(
+                        fault_rate=float(fault_rate),
+                        fault_model="leon3-fpu",
+                        rng=np.random.default_rng(stream.integers(0, 2**63 - 1)),
+                    )
+                    trial_values.append(float(function(proc, stream)))
+                per_series.append(trial_values)
+            legacy.append(per_series)
+        engine_result = ExperimentEngine().run_sweep(make_sweep())
+        assert [s.values for s in engine_result] == legacy
+
+
+class TestExecutors:
+    def test_registry(self):
+        assert list_executors() == ["batched", "process", "serial"]
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("gpu")
+
+    def test_process_executor_validates_options(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(chunksize=0)
+
+    def test_process_executor_streams_all_indices(self):
+        sweep = make_sweep(trials=2)
+        specs = sweep.expand()
+        seen = {}
+        ProcessExecutor(workers=2, chunksize=1).run(
+            sweep, specs, lambda i, v: seen.__setitem__(i, v)
+        )
+        assert sorted(seen) == list(range(len(specs)))
+
+    def test_batched_executor_uses_run_batch(self):
+        calls = []
+        trial = make_noisy_sum_trial(n=16)
+        original = trial.run_batch
+
+        def counting_run_batch(procs, streams):
+            calls.append(len(procs))
+            return original(procs, streams)
+
+        trial.run_batch = counting_run_batch
+        sweep = SweepSpec({"noise": trial}, fault_rates=(0.0, 0.1), trials=4, seed=0)
+        BatchedExecutor().run(sweep, sweep.expand())
+        assert calls == [4, 4]  # one batch per fault-rate cell
+
+    def test_batched_executor_rejects_bad_batch_size(self):
+        def bad_batch(procs, streams):
+            return [0.0]
+
+        def trial(proc, stream):
+            return 0.0
+
+        trial.run_batch = bad_batch
+        sweep = SweepSpec({"bad": trial}, fault_rates=(0.0,), trials=3, seed=0)
+        with pytest.raises(ValueError, match="run_batch returned"):
+            BatchedExecutor().run(sweep, sweep.expand())
+
+
+class TestCorruptBatch:
+    @given(
+        n_trials=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=40),
+        fault_rate=st.sampled_from([0.0, 0.01, 0.2, 0.9]),
+        ops=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_matches_per_trial_corrupt_array(self, n_trials, n, fault_rate, ops, seed):
+        """The fused batch kernel equals per-trial corruption bit-for-bit."""
+        distribution = EmulatedBitDistribution(width=32)
+        workload = np.random.default_rng(seed)
+        stacked = workload.random((n_trials, n)).astype(np.float32)
+        batch_rngs = [np.random.default_rng([seed, t]) for t in range(n_trials)]
+        serial_rngs = [np.random.default_rng([seed, t]) for t in range(n_trials)]
+        batched, faults = corrupt_batch(
+            stacked, fault_rate, ops, distribution, batch_rngs
+        )
+        for t in range(n_trials):
+            row, n_faults = corrupt_array(
+                stacked[t], fault_rate, ops, distribution, serial_rngs[t]
+            )
+            np.testing.assert_array_equal(batched[t], row)
+            assert faults[t] == n_faults
+
+    def test_rng_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="generators"):
+            corrupt_batch(
+                np.ones((2, 3), dtype=np.float32),
+                0.1,
+                1,
+                EmulatedBitDistribution(width=32),
+                [np.random.default_rng(0)],
+            )
+
+
+class TestEngine:
+    def test_progress_events_cover_every_cell(self):
+        events = []
+        engine = ExperimentEngine(progress=events.append)
+        engine.run_sweep(make_sweep(trials=2))
+        assert len(events) == 2 * 3 * 2  # one event per trial
+        finished = {(e.series_name, e.fault_rate) for e in events if e.cell_done}
+        assert finished == {(s, r) for s in ("a", "b") for r in (0.0, 0.05, 0.5)}
+        totals = {e.sweep_total for e in events}
+        assert totals == {12}
+        assert str(events[-1]).startswith("[12/12]")
+
+    def test_run_figure_is_incremental(self, tmp_path):
+        builds = []
+
+        def build():
+            builds.append(1)
+            figure = FigureResult("F", "t", "x", "y")
+            figure.series.append(
+                SeriesResult(name="s", fault_rates=[0.0], values=[[1.0, 0.0]])
+            )
+            return figure
+
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        key = {"figure": "demo", "trials": 2}
+        first = engine.run_figure(key, build)
+        second = engine.run_figure(key, build)
+        assert len(builds) == 1  # second call replayed from disk
+        assert second.series_named("s").values == first.series_named("s").values
+        engine.run_figure({"figure": "demo", "trials": 3}, build)
+        assert len(builds) == 2  # different spec hash -> rebuild
+        engine.run_figure(key, build, refresh=True)
+        assert len(builds) == 3  # refresh bypasses the cache
+
+    def test_cache_ignores_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"figure": "demo"}
+        path = cache.store(key, FigureResult("F", "t", "x", "y"))
+        path.write_text("{not json")
+        assert cache.load(key) is None
+
+    def test_figure_roundtrip_through_dict(self):
+        figure = FigureResult(
+            "Figure X",
+            "demo",
+            "rate",
+            "metric",
+            series=[SeriesResult(name="s", fault_rates=[0.0, 0.1], values=[[1.0], [0.5]])],
+            notes="n",
+        )
+        rebuilt = FigureResult.from_dict(figure.to_dict())
+        assert rebuilt == figure
+
+    def test_runner_wrapper_accepts_engine_objects(self):
+        reference = run_fault_rate_sweep(
+            {"m": noisy_metric}, fault_rates=(0.1,), trials=2, seed=5
+        )
+        via_engine = run_fault_rate_sweep(
+            {"m": noisy_metric},
+            fault_rates=(0.1,),
+            trials=2,
+            seed=5,
+            engine=ExperimentEngine("batched"),
+        )
+        assert [s.values for s in via_engine] == [s.values for s in reference]
+
+    def test_gradient_descent_trial_deterministic(self):
+        trial = make_gradient_descent_trial(dim=8, iterations=5)
+        sweep = SweepSpec({"sgd": trial}, fault_rates=(0.2,), trials=2, seed=1)
+        first = ExperimentEngine().run_sweep(sweep)
+        second = ExperimentEngine().run_sweep(sweep)
+        assert [s.values for s in first] == [s.values for s in second]
+        assert np.isfinite(first[0].values[0]).all()

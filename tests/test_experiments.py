@@ -4,7 +4,8 @@ Figure generators are exercised at miniature scale so the whole module runs
 in seconds; the benchmark harness runs them at representative scale.
 """
 
-import numpy as np
+import math
+
 import pytest
 
 from repro.experiments import figures
@@ -48,6 +49,27 @@ class TestRunner:
         assert figure.series_named("s").name == "s"
         with pytest.raises(KeyError):
             figure.series_named("missing")
+
+    def test_success_rates_empty_trials_are_nan(self):
+        """A fault rate with no trials must not masquerade as 0 % success."""
+        series = SeriesResult(name="s", fault_rates=[0.0, 0.1], values=[[], [1.0]])
+        rates = series.success_rates()
+        assert math.isnan(rates[0])
+        assert rates[1] == 1.0
+
+    def test_empty_series_aggregates(self):
+        series = SeriesResult(name="s")
+        assert series.success_rates() == []
+        assert series.means() == []
+        assert series.summaries() == []
+
+    def test_figure_fault_rates_skip_empty_series(self):
+        empty = SeriesResult(name="pending")
+        filled = SeriesResult(name="done", fault_rates=[0.0, 0.1], values=[[1.0], [0.5]])
+        figure = FigureResult("F", "t", "x", "y", series=[empty, filled])
+        assert figure.fault_rates == [0.0, 0.1]
+        assert FigureResult("F", "t", "x", "y").fault_rates == []
+        assert FigureResult("F", "t", "x", "y", series=[empty]).fault_rates == []
 
 
 class TestReporting:

@@ -7,7 +7,7 @@ from repro.exceptions import FaultModelError, VoltageModelError
 from repro.processor.energy import EnergyModel
 from repro.processor.profiles import get_processor, list_processors
 from repro.processor.stochastic import StochasticProcessor
-from repro.processor.voltage import MIN_VOLTAGE, NOMINAL_VOLTAGE, VoltageErrorModel
+from repro.processor.voltage import NOMINAL_VOLTAGE, VoltageErrorModel
 
 
 class TestVoltageModel:

@@ -14,7 +14,7 @@ from repro.metrics.quality import (
     residual_relative_error,
     success_rate,
 )
-from repro.metrics.statistics import TrialSummary, geometric_mean, summarize
+from repro.metrics.statistics import geometric_mean, summarize
 from repro.workloads.generators import (
     random_array,
     random_bipartite_graph,
