@@ -4,8 +4,8 @@ Each benchmark module regenerates one table/figure of the paper at a reduced
 but representative scale (fewer trials and iterations than the paper's
 10,000-iteration FPGA runs, so the whole suite completes in minutes), prints
 the resulting table, and registers a single-round pytest-benchmark entry that
-times one representative solve.  ``EXPERIMENTS.md`` records the mapping and
-the observed numbers.
+times one representative solve.  ``docs/figures.md`` records the mapping
+from paper figures to benchmark modules and the expected outputs.
 
 Sweeps run through the experiment engine; the fixtures below hand benchmarks
 ready-built engines so executor choice is one line.

@@ -9,7 +9,7 @@ figures are cached on disk keyed by a content hash of their spec: re-running
 with unchanged parameters replays cached tables instead of recomputing.
 
 Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
-          [--executor {serial,process,batched}] [--workers N]
+          [--executor {serial,process,batched,vectorized,auto}] [--workers N]
           [--only NAME [--only NAME ...]] [--trials N]
           [--cache-dir DIR | --no-cache] [--refresh] [--progress]
 """
@@ -30,8 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the paper's full iteration counts (slow)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory to save the tables into")
-    parser.add_argument("--executor", choices=("serial", "process", "batched"),
-                        default="serial", help="how sweep trials execute")
+    parser.add_argument("--executor",
+                        choices=("serial", "process", "batched", "vectorized", "auto"),
+                        default="auto", help="how sweep trials execute (auto picks "
+                        "the tensorized backend when a figure supports it)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for --executor process")
     parser.add_argument("--only", action="append", default=None, metavar="NAME",

@@ -18,9 +18,9 @@ Quickstart
 >>> result.output
 array([1., 2., 3.])
 
-See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
-inventory and per-experiment index, and ``EXPERIMENTS.md`` for the
-paper-versus-measured record of every figure.
+See ``README.md`` for a quickstart, ``docs/architecture.md`` for the layer
+map, ``docs/figures.md`` for the per-figure reproduction index, and
+``docs/tutorial.md`` for a guided walkthrough.
 """
 
 from repro.exceptions import (

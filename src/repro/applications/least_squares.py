@@ -11,7 +11,7 @@ gradient method (Figures 6.6 and 6.7), with the gradient
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,13 +20,19 @@ from repro.linalg.solve import least_squares_baseline
 from repro.optimizers.base import OptimizationResult
 from repro.optimizers.conjugate_gradient import CGOptions, conjugate_gradient_least_squares
 from repro.optimizers.problem import QuadraticProblem
-from repro.optimizers.sgd import SGDOptions, stochastic_gradient_descent
+from repro.optimizers.sgd import (
+    SGDOptions,
+    stochastic_gradient_descent,
+    stochastic_gradient_descent_batch,
+)
+from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
 __all__ = [
     "LeastSquaresResult",
     "default_least_squares_step",
     "robust_least_squares_sgd",
+    "robust_least_squares_sgd_batch",
     "robust_least_squares_cg",
     "baseline_least_squares",
 ]
@@ -148,6 +154,48 @@ def robust_least_squares_sgd(
         faults=proc.faults_injected - faults_before,
         optimizer_result=result,
     )
+
+
+def robust_least_squares_sgd_batch(
+    A: np.ndarray,
+    b: np.ndarray,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    options: Optional[SGDOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> List[LeastSquaresResult]:
+    """Run one SGD least-squares solve per processor as a single tensor loop.
+
+    The batch entry point of the tensorized trial backend: the quadratic
+    problem is built once and every trial's iterate advances together through
+    :func:`~repro.optimizers.sgd.stochastic_gradient_descent_batch`.  Trial
+    ``t``'s :class:`LeastSquaresResult` is bit-identical to
+    ``robust_least_squares_sgd(A, b, procs[t], options, x0)``.
+    """
+    if options is None:
+        options = SGDOptions(
+            iterations=1000,
+            schedule="ls",
+            base_step=default_least_squares_step(A),
+        )
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    batch.flush()  # counters must be current before the baseline read
+    problem = QuadraticProblem(A, b)
+    flops_before = [proc.flops for proc in batch.procs]
+    faults_before = [proc.faults_injected for proc in batch.procs]
+    results = stochastic_gradient_descent_batch(problem, batch, options=options, x0=x0)
+    method = f"sgd[{options.schedule if isinstance(options.schedule, str) else 'custom'}]"
+    return [
+        _finish(
+            A,
+            b,
+            result.x,
+            method=method,
+            flops=proc.flops - flops_before[trial],
+            faults=proc.faults_injected - faults_before[trial],
+            optimizer_result=result,
+        )
+        for trial, (proc, result) in enumerate(zip(batch.procs, results))
+    ]
 
 
 def robust_least_squares_cg(

@@ -13,7 +13,7 @@ ablation of Figure 6.5 can toggle each piece independently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,12 +22,22 @@ from repro.optimizers.base import OptimizationResult
 from repro.optimizers.penalty import ExactPenaltyProblem, PenaltyKind
 from repro.optimizers.preconditioning import QRPreconditioner
 from repro.optimizers.problem import ConstrainedProblem, LinearProgram
-from repro.optimizers.sgd import SGDOptions, stochastic_gradient_descent
+from repro.optimizers.sgd import (
+    SGDOptions,
+    stochastic_gradient_descent,
+    stochastic_gradient_descent_batch,
+)
 from repro.optimizers.step_schedules import AggressiveStepping
 from repro.core.variants import get_variant, sgd_options_for_variant
+from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
-__all__ = ["RobustSolveConfig", "to_penalty_form", "solve_penalized_lp"]
+__all__ = [
+    "RobustSolveConfig",
+    "to_penalty_form",
+    "solve_penalized_lp",
+    "solve_penalized_lp_batch",
+]
 
 
 def to_penalty_form(
@@ -139,3 +149,56 @@ def solve_penalized_lp(
         )
         result.objective = float(original_penalized.value(solution))
     return solution, result
+
+
+def solve_penalized_lp_batch(
+    lp: LinearProgram,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    config: Optional[RobustSolveConfig] = None,
+    x0: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, List[OptimizationResult]]:
+    """Solve one penalized-LP trial per processor as a single tensor pipeline.
+
+    The tensorized twin of :func:`solve_penalized_lp`: the (deterministic,
+    reliable) transformation steps — QR preconditioning and the exact-penalty
+    conversion — are shared by the whole batch, and the stochastic solve runs
+    through :func:`~repro.optimizers.sgd.stochastic_gradient_descent_batch`,
+    which updates every trial's iterate in one batched numpy loop.  Trial
+    ``t``'s solution and accounting are bit-identical to
+    ``solve_penalized_lp(lp, procs[t], config, x0)``.
+
+    Returns the stacked solutions (``(n_trials, dimension)``, original
+    coordinates) and one :class:`~repro.optimizers.base.OptimizationResult`
+    per trial.
+    """
+    config = config if config is not None else RobustSolveConfig()
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    preconditioner: Optional[QRPreconditioner] = None
+    working_lp = lp
+    initial = x0
+    if config.uses_preconditioning():
+        preconditioner = QRPreconditioner()
+        working_lp = preconditioner.fit(lp)
+        if x0 is not None:
+            initial = preconditioner._R @ np.asarray(x0, dtype=np.float64)
+
+    penalized = to_penalty_form(
+        working_lp, penalty=config.penalty, kind=config.penalty_kind
+    )
+    results = stochastic_gradient_descent_batch(
+        penalized, batch, options=config.sgd_options(), x0=initial
+    )
+    solutions: List[np.ndarray] = []
+    original_penalized: Optional[ExactPenaltyProblem] = None
+    for result in results:
+        solution = result.x
+        if preconditioner is not None:
+            solution = preconditioner.recover(solution)
+            result.x = solution
+            if original_penalized is None:
+                original_penalized = to_penalty_form(
+                    lp, penalty=penalized.penalty, kind=config.penalty_kind
+                )
+            result.objective = float(original_penalized.value(solution))
+        solutions.append(solution)
+    return np.stack(solutions), results

@@ -27,16 +27,21 @@ the docstrings state the paper's full-scale values.
 Sweeps execute through the :class:`~repro.experiments.engine.ExperimentEngine`
 plan/execute subsystem: a sweep is expanded into seeded
 :class:`~repro.experiments.spec.TrialSpec` entries and handed to a pluggable
-executor (``serial``, ``process``, or ``batched``), all of which produce
-bit-identical results.  Completed figures can be cached on disk through
-:class:`~repro.experiments.cache.ResultCache`.
+executor (``serial``, ``process``, ``batched``, ``vectorized``, or ``auto``),
+all of which produce bit-identical results.  The ``vectorized`` executor is
+the tensorized trial backend (:mod:`repro.experiments.tensor`): it runs a
+whole (fault-rate × trials) series grid as one stacked numpy computation for
+trial functions that declare a batch implementation.  Completed figures can
+be cached on disk through :class:`~repro.experiments.cache.ResultCache`.
 """
 
 from repro.experiments.engine import ExperimentEngine, ProgressEvent
 from repro.experiments.executors import (
+    AutoExecutor,
     BatchedExecutor,
     ProcessExecutor,
     SerialExecutor,
+    VectorizedExecutor,
     batchable,
     get_executor,
     list_executors,
@@ -51,6 +56,7 @@ from repro.experiments.spec import (
 from repro.experiments.runner import run_fault_rate_sweep
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
 from repro.experiments import figures
+from repro.experiments import tensor
 
 __all__ = [
     "ExperimentEngine",
@@ -60,6 +66,8 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "BatchedExecutor",
+    "VectorizedExecutor",
+    "AutoExecutor",
     "batchable",
     "get_executor",
     "list_executors",
@@ -73,4 +81,5 @@ __all__ = [
     "figure_to_rows",
     "save_figure_report",
     "figures",
+    "tensor",
 ]

@@ -9,9 +9,15 @@ entries (the *plan*), then handed to a pluggable executor (the *execution*):
 
 Because every trial derives its random streams from its own grid coordinates,
 all executors produce bit-identical results; choosing an executor is purely a
-throughput decision.  The engine additionally streams per-(series, rate)
-progress events to an optional callback and memoizes completed figures on
-disk through :class:`~repro.experiments.cache.ResultCache`.
+throughput decision.  ``serial`` is the reference, ``process`` forks across
+cores, ``batched`` vectorizes per (series, rate) cell, ``vectorized`` runs
+the tensorized trial backend (one stacked computation per series, spanning
+the whole rate grid — see :mod:`repro.experiments.tensor`), and ``auto``
+picks ``vectorized`` whenever the plan advertises batch-capable series via
+:attr:`~repro.experiments.spec.TrialSpec.supports_batch`.  The engine
+additionally streams per-(series, rate) progress events to an optional
+callback and memoizes completed figures on disk through
+:class:`~repro.experiments.cache.ResultCache`.
 """
 
 from __future__ import annotations
@@ -62,8 +68,9 @@ class ExperimentEngine:
     Parameters
     ----------
     executor:
-        Executor name (``"serial"``, ``"process"``, ``"batched"``) or a
-        ready-built :class:`~repro.experiments.executors.Executor`.
+        Executor name (``"serial"``, ``"process"``, ``"batched"``,
+        ``"vectorized"``, ``"auto"``) or a ready-built
+        :class:`~repro.experiments.executors.Executor`.
     workers / chunksize:
         Forwarded to the ``process`` executor; ignored by the others.
     cache_dir:

@@ -18,6 +18,15 @@ bit-identical results for the same plan:
     :func:`batchable` (typically built on
     :func:`repro.faults.vectorized.corrupt_batch`); plain functions fall back
     to per-trial execution.
+``vectorized``
+    The tensorized trial backend (:mod:`repro.experiments.tensor`): one batch
+    per *series*, spanning the entire (fault-rate × trials) grid, so a whole
+    sweep cell advances as a single stacked numpy computation.  Series
+    without a batch implementation fall back to per-trial execution.
+``auto``
+    Picks the fast path per plan: ``vectorized`` when any series declares a
+    batch implementation (the :attr:`TrialSpec.supports_batch` capability
+    flag), the serial reference otherwise.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "BatchedExecutor",
+    "VectorizedExecutor",
+    "AutoExecutor",
     "batchable",
     "get_executor",
     "list_executors",
@@ -177,11 +188,18 @@ def batchable(run_batch: Callable) -> Callable:
     """Attach a vectorized batch implementation to a trial function.
 
     ``run_batch(procs, streams)`` receives one processor and one random
-    stream per trial of a (series, fault-rate) cell — constructed exactly as
-    the serial path constructs them — and returns one metric value per trial.
-    The implementation must corrupt each trial's data with that trial's own
-    generator (see :func:`repro.faults.vectorized.corrupt_batch`) so that the
-    batched result stays bit-identical to serial execution.
+    stream per trial — constructed exactly as the serial path constructs
+    them — and returns one metric value per trial.  The implementation must
+    corrupt each trial's data with that trial's own generator (see
+    :func:`repro.faults.vectorized.corrupt_batch` and
+    :class:`repro.processor.batch.ProcessorBatch`) so that the batched result
+    stays bit-identical to serial execution.
+
+    The ``batched`` executor calls ``run_batch`` once per (series,
+    fault-rate) cell, so every processor in a call shares one fault rate; the
+    ``vectorized`` executor calls it once per *series* with the whole
+    (fault-rate × trials) grid, so implementations must read each processor's
+    own ``fault_rate`` rather than assuming ``procs[0]`` speaks for the batch.
     """
 
     def attach(function: Callable) -> Callable:
@@ -238,15 +256,80 @@ class BatchedExecutor(Executor):
         return values  # type: ignore[return-value]
 
 
+class VectorizedExecutor(Executor):
+    """The tensorized executor: one batch per series, spanning all rates.
+
+    For a series whose trial function declares a batch implementation
+    (:attr:`TrialSpec.supports_batch`), the entire (fault-rate × trials)
+    grid becomes one :func:`repro.experiments.tensor.run_tensor_cell` call —
+    a single stacked numpy computation over a
+    :class:`~repro.processor.batch.ProcessorBatch` whose rows carry their own
+    fault rates.  Series without a batch implementation run per-trial,
+    identically to the serial executor.
+    """
+
+    name = "vectorized"
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        from repro.experiments.tensor import run_tensor_cell
+
+        series_groups: Dict[int, List[Tuple[int, TrialSpec]]] = {}
+        for index, spec in enumerate(specs):
+            series_groups.setdefault(spec.series_index, []).append((index, spec))
+        values: List[Optional[float]] = [None] * len(specs)
+        for group in series_groups.values():
+            if not group[0][1].supports_batch or len(group) == 1:
+                for index, spec in group:
+                    values[index] = run_trial(sweep, spec)
+                    if emit is not None:
+                        emit(index, values[index])
+                continue
+            batch_values = run_tensor_cell(sweep, [spec for _, spec in group])
+            for (index, _), value in zip(group, batch_values):
+                values[index] = value
+                if emit is not None:
+                    emit(index, value)
+        return values  # type: ignore[return-value]
+
+
+class AutoExecutor(Executor):
+    """Plan-adaptive executor: the engine's "pick the fast path for me" option.
+
+    Delegates to :class:`VectorizedExecutor` when any trial in the plan
+    carries the :attr:`TrialSpec.supports_batch` capability flag, and to the
+    :class:`SerialExecutor` reference otherwise.  Either way the results are
+    bit-identical; only throughput changes.
+    """
+
+    name = "auto"
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        emit: Optional[EmitFunction] = None,
+    ) -> List[float]:
+        if any(spec.supports_batch for spec in specs):
+            return VectorizedExecutor().run(sweep, specs, emit)
+        return SerialExecutor().run(sweep, specs, emit)
+
+
 _EXECUTORS: Dict[str, Callable[..., Executor]] = {
     "serial": SerialExecutor,
     "process": ProcessExecutor,
     "batched": BatchedExecutor,
+    "vectorized": VectorizedExecutor,
+    "auto": AutoExecutor,
 }
 
 
 def get_executor(name: str, **options) -> Executor:
-    """Build an executor by registry name (``serial``/``process``/``batched``)."""
+    """Build an executor by registry name (see :func:`list_executors`)."""
     try:
         factory = _EXECUTORS[name]
     except KeyError:

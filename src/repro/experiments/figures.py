@@ -5,12 +5,13 @@ returns a :class:`~repro.experiments.runner.FigureResult`.  The default
 ``trials`` / ``iterations`` are laptop-scale so that the benchmark harness
 finishes in minutes; the paper-scale values (10,000 iterations for the
 combinatorial kernels, 1,000 for the numerical ones) are accepted via the
-same arguments and are recorded in ``EXPERIMENTS.md``.
+same arguments.  ``docs/figures.md`` maps every figure to its generator,
+benchmark module, and expected output.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.applications.least_squares import (
     default_least_squares_step,
     robust_least_squares_cg,
     robust_least_squares_sgd,
+    robust_least_squares_sgd_batch,
 )
 from repro.applications.matching import (
     baseline_matching,
@@ -30,9 +32,11 @@ from repro.applications.sorting import (
     baseline_sort,
     default_sorting_config,
     robust_sort,
+    robust_sort_batch,
 )
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.engine import ExperimentEngine
+from repro.experiments.executors import batchable
 from repro.experiments.runner import (
     DEFAULT_FAULT_RATES,
     FigureResult,
@@ -56,6 +60,7 @@ from repro.workloads.generators import (
 from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
 __all__ = [
+    "sorting_trial_functions",
     "figure_5_1",
     "figure_5_2",
     "figure_6_1",
@@ -122,6 +127,58 @@ def figure_5_2(n_points: int = 10) -> FigureResult:
 # --------------------------------------------------------------------------- #
 # Figure 6.1 — sorting
 # --------------------------------------------------------------------------- #
+def sorting_trial_functions(
+    values: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+):
+    """The Figure 6.1 trial functions: series label -> batch-capable trial.
+
+    ``series`` maps each series label to a robust solver variant, or to
+    ``None`` for the noisy-comparison-sort baseline; the default is the
+    figure's "Base" / "SGD" / "SGD+AS,LS" / "SGD+AS,SQS" line-up.  Robust
+    series carry a :func:`~repro.experiments.executors.batchable`
+    implementation backed by
+    :func:`~repro.applications.sorting.robust_sort_batch`, so the ``batched``
+    and ``vectorized`` executors advance whole trial batches as one tensor
+    computation (bit-identical to serial execution).  The benchmark harness
+    (``benchmarks/bench_tensor_backend.py``) reuses this factory at reduced
+    scale.
+    """
+    if series is None:
+        series = {
+            "Base": None,
+            "SGD": "SGD,LS",
+            "SGD+AS,LS": "SGD+AS,LS",
+            "SGD+AS,SQS": "SGD+AS,SQS",
+        }
+    values = np.asarray(values, dtype=np.float64)
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return 1.0 if baseline_sort(values, proc).success else 0.0
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            config = default_sorting_config(
+                iterations=iterations, variant=variant, values=values
+            )
+            return 1.0 if robust_sort(values, proc, config).success else 0.0
+
+        def run_batch(procs, streams):
+            config = default_sorting_config(
+                iterations=iterations, variant=variant, values=values
+            )
+            results = robust_sort_batch(values, procs, config)
+            return [1.0 if result.success else 0.0 for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
 def figure_6_1(
     trials: int = 5,
     iterations: int = 10000,
@@ -133,29 +190,13 @@ def figure_6_1(
     """Figure 6.1: sorting success rate vs fault rate.
 
     Paper configuration: 5-element arrays, 10,000 iterations, series
-    "Base", "SGD", "SGD+AS,LS", "SGD+AS,SQS".
+    "Base", "SGD", "SGD+AS,LS", "SGD+AS,SQS".  The robust series are
+    batch-capable, so a ``vectorized`` (or ``auto``) engine runs each one as
+    a single tensorized computation over the whole (rate × trials) grid.
     """
     values = random_array(array_size, rng=seed, min_gap=0.08)
-
-    def _robust(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            config = default_sorting_config(
-                iterations=iterations, variant=variant, values=values
-            )
-            return 1.0 if robust_sort(values, proc, config).success else 0.0
-
-        return run
-
-    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return 1.0 if baseline_sort(values, proc).success else 0.0
-
     series = run_fault_rate_sweep(
-        {
-            "Base": _base,
-            "SGD": _robust("SGD,LS"),
-            "SGD+AS,LS": _robust("SGD+AS,LS"),
-            "SGD+AS,SQS": _robust("SGD+AS,SQS"),
-        },
+        sorting_trial_functions(values, iterations),
         fault_rates=fault_rates,
         trials=trials,
         seed=seed,
@@ -196,7 +237,14 @@ def figure_6_2(
             )
             return robust_least_squares_sgd(A, b, proc, options=options).relative_error
 
-        return run
+        def run_batch(procs, streams):
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=base_step
+            )
+            results = robust_least_squares_sgd_batch(A, b, procs, options=options)
+            return [result.relative_error for result in results]
+
+        return batchable(run_batch)(run)
 
     def _svd(proc: StochasticProcessor, rng: np.random.Generator) -> float:
         return baseline_least_squares(A, b, proc, method="svd").relative_error

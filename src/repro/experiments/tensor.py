@@ -1,0 +1,112 @@
+"""The tensorized trial backend: whole sweep cells as one batched computation.
+
+The serial executor runs a fault-rate sweep as ``n_series × n_rates ×
+n_trials`` independent Python calls, so small-workload sweeps (the paper's
+5-element sorting arrays, 10×100 least-squares systems) are bounded by
+interpreter and numpy call overhead, not arithmetic.  This module turns the
+per-trial execution model inside out: the trials of a series — *across every
+fault rate and trial index at once* — are stacked into one tensor, their
+processors are wrapped in a :class:`~repro.processor.batch.ProcessorBatch`,
+and a batch-capable trial function advances all of them together through the
+batched application kernels (:func:`~repro.applications.sorting.robust_sort_batch`,
+:func:`~repro.applications.least_squares.robust_least_squares_sgd_batch`, or a
+custom ``run_batch``).
+
+The layering, bottom to top:
+
+``repro.faults.vectorized.batch_fault_masks``
+    Draws per-trial fault masks and bit positions for a whole trial tensor,
+    consuming each trial's generator in the serial draw order.
+``repro.processor.batch.ProcessorBatch``
+    The batched substrate: fused corruption over stacked tensors plus the
+    row-wise noisy linear-algebra primitives, with per-trial accounting.
+``repro.optimizers.sgd.stochastic_gradient_descent_batch`` /
+``repro.core.transform.solve_penalized_lp_batch``
+    Batched solver drivers (scheduled iterations as one tensor loop;
+    data-dependent phases fall back per trial).
+``repro.applications.*_batch``
+    Batch entry points of the hot application kernels.
+*this module*
+    Capability detection (:func:`function_supports_batch`), trial-batch
+    construction (:func:`make_trial_batch`), and the cell runner
+    (:func:`run_tensor_cell`) used by the ``vectorized`` executor.
+
+Everything is bit-identical to serial execution by construction: a trial's
+random streams derive only from its :class:`~repro.experiments.spec.TrialSpec`
+coordinates, and every batched kernel consumes those streams in the serial
+order.  The executor-equivalence tests assert this end to end, and
+``benchmarks/bench_tensor_backend.py`` measures the resulting speedup on the
+Figure 6.1 sorting sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.spec import SweepSpec, TrialSpec
+from repro.processor.batch import ProcessorBatch
+from repro.processor.stochastic import StochasticProcessor
+
+__all__ = [
+    "ProcessorBatch",
+    "function_supports_batch",
+    "make_trial_batch",
+    "run_tensor_cell",
+]
+
+
+def function_supports_batch(function: Callable) -> bool:
+    """Whether a trial function declares a vectorized batch implementation.
+
+    Trial functions opt in through the
+    :func:`~repro.experiments.executors.batchable` decorator, which attaches
+    the batch implementation as a ``run_batch`` attribute.  The capability is
+    threaded through :attr:`TrialSpec.supports_batch` at plan-expansion time
+    so executors can route without re-inspecting functions.
+    """
+    return callable(getattr(function, "run_batch", None))
+
+
+def make_trial_batch(
+    specs: Sequence[TrialSpec],
+) -> Tuple[List[np.random.Generator], List[StochasticProcessor]]:
+    """Build each trial's private stream and processor, in batch order.
+
+    Streams and processors are constructed exactly as the serial executor
+    constructs them (:meth:`TrialSpec.make_stream` /
+    :meth:`TrialSpec.make_processor`), so handing them to a batch kernel —
+    or to a per-trial fallback — yields bit-identical results.
+    """
+    streams = [spec.make_stream() for spec in specs]
+    procs = [spec.make_processor(stream) for spec, stream in zip(specs, streams)]
+    return streams, procs
+
+
+def run_tensor_cell(sweep: SweepSpec, specs: Sequence[TrialSpec]) -> List[float]:
+    """Run one series' trial batch — every (fault rate, trial) at once.
+
+    ``specs`` must all belong to one series whose trial function carries a
+    ``run_batch`` implementation.  The batch implementation receives one
+    processor and one stream per trial (each processor already configured
+    with its own spec's fault rate, so a single call spans the whole
+    fault-rate grid) and returns one metric value per trial, in spec order.
+    """
+    if not specs:
+        return []
+    function = sweep.trial_functions[specs[0].series_name]
+    run_batch = getattr(function, "run_batch", None)
+    if run_batch is None:
+        raise ValueError(
+            f"series {specs[0].series_name!r} has no batch implementation; "
+            "use the per-trial path"
+        )
+    streams, procs = make_trial_batch(specs)
+    values = [float(value) for value in run_batch(procs, streams)]
+    if len(values) != len(specs):
+        raise ValueError(
+            f"run_batch returned {len(values)} values for a batch of "
+            f"{len(specs)} trials"
+        )
+    return values

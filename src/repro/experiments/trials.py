@@ -27,9 +27,11 @@ def make_noisy_sum_trial(n: int = 256, ops_per_element: int = 8) -> TrialFunctio
 
     The serial path draws a vector from the trial stream, corrupts it on the
     processor, and returns the sum.  The attached batch implementation stacks
-    every trial of a (series, rate) cell and corrupts the whole stack in one
-    :func:`corrupt_batch` pass — using each trial's own generators in the
-    same order as the serial path, so results are bit-identical.
+    every trial of the batch and corrupts the whole stack in one
+    :func:`corrupt_batch` pass — using each trial's own generator and fault
+    rate in the same order as the serial path, so results are bit-identical
+    whether the executor batches one (series, rate) cell (``batched``) or a
+    whole series across the rate grid (``vectorized``).
     """
 
     def run_batch(
@@ -40,9 +42,9 @@ def make_noisy_sum_trial(n: int = 256, ops_per_element: int = 8) -> TrialFunctio
             stacked = stacked.astype(procs[0].dtype)
         corrupted, faults_per_trial = corrupt_batch(
             stacked,
-            fault_rate=procs[0].fault_rate,
+            fault_rate=[proc.fault_rate for proc in procs],
             ops_per_element=ops_per_element,
-            bit_distribution=procs[0].injector.bit_distribution,
+            bit_distribution=[proc.injector.bit_distribution for proc in procs],
             rngs=[proc.injector.rng for proc in procs],
         )
         for proc in procs:

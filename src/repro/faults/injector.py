@@ -222,6 +222,22 @@ class FaultInjector:
         """Probability that a result of ``ops_per_element`` FLOPs is corrupted."""
         return effective_fault_probability(self._fault_rate, ops_per_element)
 
+    def record_vectorized(self, ops: int, faults: int) -> None:
+        """Fold one batched corruption pass into this injector's counters.
+
+        The tensorized trial backend corrupts whole trial stacks with
+        :func:`repro.faults.vectorized.corrupt_batch`-style kernels using this
+        injector's generator and bit distribution directly; this hook keeps
+        the per-injector operation and fault statistics identical to what the
+        per-trial :meth:`corrupt_array` path would have recorded.
+        """
+        if ops < 0 or faults < 0:
+            raise FaultModelError(
+                f"operation and fault counts must be non-negative, got ({ops}, {faults})"
+            )
+        self._ops_observed += int(ops)
+        self._faults_injected += int(faults)
+
     # ------------------------------------------------------------------ #
     # Misc
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ import numpy as np
 from repro.exceptions import ProblemSpecificationError
 from repro.linalg.ops import noisy_dot, noisy_matvec, noisy_sub
 from repro.optimizers.problem import ConstrainedProblem
+from repro.processor.batch import ProcessorBatch, batch_matvec, batch_sub
 from repro.processor.stochastic import StochasticProcessor
 
 __all__ = ["PenaltyKind", "ExactPenaltyProblem"]
@@ -93,12 +94,24 @@ class ExactPenaltyProblem:
     # Exact (reliable) evaluation
     # ------------------------------------------------------------------ #
     def _penalty_terms_exact(self, x: np.ndarray) -> float:
+        # Skip absent constraint blocks entirely: their contribution is an
+        # exact 0.0, and this evaluation sits on the aggressive-stepping hot
+        # path (one call per accept/reject test).
         constraints = self.problem.constraints
-        eq_residual = constraints.equality_residual(x)
-        ineq_violation = constraints.inequality_violation(x)
-        if self.kind is PenaltyKind.L1:
-            return float(np.abs(eq_residual).sum() + ineq_violation.sum())
-        return float((eq_residual**2).sum() + (ineq_violation**2).sum())
+        total = 0.0
+        if constraints.A_eq is not None:
+            eq_residual = constraints.equality_residual(x)
+            if self.kind is PenaltyKind.L1:
+                total += float(np.abs(eq_residual).sum())
+            else:
+                total += float((eq_residual**2).sum())
+        if constraints.A_ub is not None:
+            ineq_violation = constraints.inequality_violation(x)
+            if self.kind is PenaltyKind.L1:
+                total += float(ineq_violation.sum())
+            else:
+                total += float((ineq_violation**2).sum())
+        return total
 
     def value(
         self, x: np.ndarray, proc: Optional[StochasticProcessor] = None
@@ -185,6 +198,54 @@ class ExactPenaltyProblem:
             contribution = noisy_matvec(proc, constraints.A_ub.T, weights)
             grad = grad + proc.corrupt(scale * contribution, ops_per_element=1)
         return grad
+
+    # ------------------------------------------------------------------ #
+    # Tensorized evaluation (whole trial batches at once)
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_batch_gradient(self) -> bool:
+        """Whether the underlying objective carries a tensorized gradient."""
+        return self.problem.objective.supports_batch_gradient
+
+    def gradient_batch(self, X: np.ndarray, batch: ProcessorBatch) -> np.ndarray:
+        """Noisy penalty (sub)gradients for a stacked ``(n_trials, dim)`` iterate.
+
+        Row ``t`` reproduces ``gradient(X[t], batch.procs[t])`` bit for bit:
+        the operation sequence of :meth:`_gradient_noisy` runs once over the
+        whole stack, with each trial's corruption drawn from its own
+        generator (see :class:`~repro.processor.batch.ProcessorBatch`).
+        """
+        X_arr = np.asarray(X, dtype=np.float64)
+        constraints = self.problem.constraints
+        grads = self.problem.objective.gradient_batch(X_arr, batch)
+        if constraints.A_eq is not None:
+            residuals = batch_sub(
+                batch, batch_matvec(batch, constraints.A_eq, X_arr), constraints.b_eq
+            )
+            if self.kind is PenaltyKind.L1:
+                weights = np.sign(residuals)
+                scale = self.penalty
+            else:
+                weights = residuals
+                scale = 2.0 * self.penalty
+            contributions = batch_matvec(batch, constraints.A_eq.T, weights)
+            grads = grads + batch.corrupt(scale * contributions, ops_per_element=1)
+        if constraints.A_ub is not None:
+            violations = np.maximum(
+                batch_sub(
+                    batch, batch_matvec(batch, constraints.A_ub, X_arr), constraints.b_ub
+                ),
+                0.0,
+            )
+            if self.kind is PenaltyKind.L1:
+                weights = (violations > 0).astype(float)
+                scale = self.penalty
+            else:
+                weights = violations
+                scale = 2.0 * self.penalty
+            contributions = batch_matvec(batch, constraints.A_ub.T, weights)
+            grads = grads + batch.corrupt(scale * contributions, ops_per_element=1)
+        return grads
 
     # ------------------------------------------------------------------ #
     # Diagnostics

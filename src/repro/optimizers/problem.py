@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.exceptions import ProblemSpecificationError
 from repro.linalg.ops import noisy_matvec, noisy_sub
+from repro.processor.batch import ProcessorBatch, batch_matvec, batch_sub
 from repro.processor.stochastic import StochasticProcessor
 
 __all__ = [
@@ -56,6 +57,13 @@ class UnconstrainedProblem:
         Optional label used in reports.
     initial_point:
         Default starting iterate; zeros when omitted.
+    gradient_batch:
+        Optional tensorized gradient ``∇f(X, batch)`` over a stacked
+        ``(n_trials, dimension)`` iterate, evaluated on a
+        :class:`~repro.processor.batch.ProcessorBatch`.  Row ``t`` must be
+        bit-identical to ``gradient(X[t], batch.procs[t])``; problems that
+        supply one can be solved by the tensorized trial backend
+        (:mod:`repro.experiments.tensor`).
     """
 
     def __init__(
@@ -65,12 +73,14 @@ class UnconstrainedProblem:
         gradient: GradientFn,
         name: str = "",
         initial_point: Optional[np.ndarray] = None,
+        gradient_batch: Optional[Callable[[np.ndarray, ProcessorBatch], np.ndarray]] = None,
     ) -> None:
         if dimension <= 0:
             raise ProblemSpecificationError(f"dimension must be positive, got {dimension}")
         self.dimension = int(dimension)
         self._objective = objective
         self._gradient = gradient
+        self._gradient_batch = gradient_batch
         self.name = name
         if initial_point is None:
             self._initial_point = np.zeros(self.dimension)
@@ -106,6 +116,30 @@ class UnconstrainedProblem:
             )
         return grad
 
+    @property
+    def supports_batch_gradient(self) -> bool:
+        """Whether this problem carries a tensorized gradient implementation."""
+        return self._gradient_batch is not None
+
+    def gradient_batch(self, X: np.ndarray, batch: ProcessorBatch) -> np.ndarray:
+        """Noisy (sub)gradients for a stacked ``(n_trials, dimension)`` iterate.
+
+        Row ``t`` is bit-identical to ``gradient(X[t], batch.procs[t])``; the
+        random draws come from each trial's own injector generator in serial
+        order (see :class:`~repro.processor.batch.ProcessorBatch`).
+        """
+        if self._gradient_batch is None:
+            raise ProblemSpecificationError(
+                f"problem {self.name!r} has no tensorized gradient implementation"
+            )
+        X_arr = np.asarray(X, dtype=np.float64)
+        grads = np.asarray(self._gradient_batch(X_arr, batch), dtype=np.float64)
+        if grads.shape != X_arr.shape:
+            raise ProblemSpecificationError(
+                f"batched gradient has shape {grads.shape}, expected {X_arr.shape}"
+            )
+        return grads
+
 
 class QuadraticProblem(UnconstrainedProblem):
     """The least-squares objective ``f(x) = ||Ax - b||²`` (Section 4.1).
@@ -129,6 +163,7 @@ class QuadraticProblem(UnconstrainedProblem):
             objective=self._lsq_value,
             gradient=self._lsq_gradient,
             name=name,
+            gradient_batch=self._lsq_gradient_batch,
         )
 
     def _lsq_value(
@@ -150,6 +185,12 @@ class QuadraticProblem(UnconstrainedProblem):
         residual = noisy_sub(proc, noisy_matvec(proc, self.A, x), self.b)
         grad = noisy_matvec(proc, self.A.T, residual)
         return proc.corrupt(2.0 * grad, ops_per_element=1)
+
+    def _lsq_gradient_batch(self, X: np.ndarray, batch: ProcessorBatch) -> np.ndarray:
+        # Same operation sequence as _lsq_gradient, fused across trial rows.
+        residuals = batch_sub(batch, batch_matvec(batch, self.A, X), self.b)
+        grads = batch_matvec(batch, self.A.T, residuals)
+        return batch.corrupt(2.0 * grads, ops_per_element=1)
 
     def exact_solution(self) -> np.ndarray:
         """Reference solution computed offline with reliable arithmetic."""
@@ -302,11 +343,18 @@ class LinearProgram(ConstrainedProblem):
                 return c_arr.copy()
             return proc.corrupt(c_arr.copy(), ops_per_element=1)
 
+        def _gradient_batch(X: np.ndarray, batch: ProcessorBatch) -> np.ndarray:
+            # Row-wise identical to _gradient: each trial's read-out of ``c``
+            # is one corruptible FLOP per entry, drawn from that trial's rng.
+            tiled = np.broadcast_to(c_arr, X.shape).copy()
+            return batch.corrupt(tiled, ops_per_element=1)
+
         objective = UnconstrainedProblem(
             dimension=c_arr.shape[0],
             objective=_value,
             gradient=_gradient,
             name=name,
             initial_point=initial_point,
+            gradient_batch=_gradient_batch,
         )
         super().__init__(objective, constraints, name=name)

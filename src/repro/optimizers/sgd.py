@@ -26,7 +26,7 @@ to be error-free" assumption, and tests cover each behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -39,9 +39,14 @@ from repro.optimizers.step_schedules import (
     StepSchedule,
     make_schedule,
 )
+from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
-__all__ = ["SGDOptions", "stochastic_gradient_descent"]
+__all__ = [
+    "SGDOptions",
+    "stochastic_gradient_descent",
+    "stochastic_gradient_descent_batch",
+]
 
 
 @dataclass
@@ -229,6 +234,244 @@ def stochastic_gradient_descent(
     return result
 
 
+def _sanitize_gradient_rows(gradients: np.ndarray, options: SGDOptions) -> np.ndarray:
+    """Row-wise :func:`_sanitize_gradient` over a stacked ``(n_trials, dim)`` array."""
+    cleaned = np.asarray(gradients, dtype=np.float64)
+    if options.zero_nonfinite:
+        cleaned = np.where(np.isfinite(cleaned), cleaned, 0.0)
+    if options.outlier_rejection is not None and cleaned.shape[1] > 2:
+        magnitudes = np.abs(cleaned)
+        scales = np.median(magnitudes, axis=1, keepdims=True)
+        cleaned = np.where(
+            (scales > 0.0) & (magnitudes > options.outlier_rejection * scales),
+            0.0,
+            cleaned,
+        )
+    if options.gradient_clip is not None:
+        cleaned = np.clip(cleaned, -options.gradient_clip, options.gradient_clip)
+    return cleaned
+
+
+def stochastic_gradient_descent_batch(
+    problem,
+    batch: ProcessorBatch,
+    options: Optional[SGDOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> List[OptimizationResult]:
+    """Run one SGD solve per processor of ``batch`` as a single tensor loop.
+
+    This is the tensorized twin of :func:`stochastic_gradient_descent`: the
+    scheduled iterations update a stacked ``(n_trials, dimension)`` iterate
+    with one batched gradient evaluation per iteration
+    (``problem.gradient_batch``), so an entire executor trial batch costs a
+    handful of numpy passes per iteration instead of per trial.  Trial ``t``'s
+    result is bit-identical to ``stochastic_gradient_descent(problem,
+    batch.procs[t], options, x0)`` because row arithmetic is elementwise, the
+    step schedule depends only on the iteration number, and every corruption
+    draw comes from trial ``t``'s own generator in serial order.
+
+    Two configurations cannot run as one tensor and fall back per trial
+    without losing bit-identity: ``record_history`` (instrumentation
+    per trial) falls back entirely, and the aggressive-stepping phase — whose
+    accept/reject control flow is data-dependent — runs per trial *after* the
+    batched scheduled phase, resuming from each trial's row (the generators
+    are already in the right state because the batched phase drew exactly the
+    serial stream).
+
+    Parameters
+    ----------
+    problem:
+        A problem exposing ``gradient_batch(X, batch)`` next to the serial
+        interface (``supports_batch_gradient`` true); otherwise every trial
+        falls back to the serial solver.
+    batch:
+        The per-trial processors, wrapped in a
+        :class:`~repro.processor.batch.ProcessorBatch`.
+    options / x0:
+        As for :func:`stochastic_gradient_descent`; ``x0`` (shared by every
+        trial) may be ``None`` for the problem's initial point.
+
+    Returns
+    -------
+    list[OptimizationResult]
+        One result per processor, in batch order.
+    """
+    options = options if options is not None else SGDOptions()
+    if options.record_history or not getattr(problem, "supports_batch_gradient", False):
+        return [
+            stochastic_gradient_descent(problem, proc, options=options, x0=x0)
+            for proc in batch.procs
+        ]
+    n_trials = len(batch)
+    schedule = options.resolved_schedule()
+    smoother = MomentumSmoother(options.momentum) if options.momentum else None
+
+    start = problem.initial_point() if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if start.shape != (problem.dimension,):
+        raise ProblemSpecificationError(
+            f"initial iterate has shape {start.shape}, expected ({problem.dimension},)"
+        )
+    X = np.tile(start, (n_trials, 1))
+
+    batch.flush()  # counters must be current before the baseline read
+    flops_before = [proc.flops for proc in batch.procs]
+    faults_before = [proc.faults_injected for proc in batch.procs]
+    step = schedule(1)
+
+    annealing_active = options.annealing is not None and hasattr(problem, "penalty")
+    for iteration in range(1, options.iterations + 1):
+        if annealing_active:
+            problem.penalty = options.annealing.penalty_at(iteration)
+        gradients = problem.gradient_batch(X, batch)
+        gradients = _sanitize_gradient_rows(gradients, options)
+        directions = smoother.update(gradients) if smoother is not None else gradients
+        if annealing_active:
+            # Same stage-restarted, 1/μ-scaled stepping as the serial loop.
+            stage_iteration = (iteration - 1) % options.annealing.period + 1
+            step = schedule(stage_iteration) * (
+                options.annealing.initial_penalty / problem.penalty
+            )
+        else:
+            step = schedule(iteration)
+        X = X - step * directions
+    batch.flush()  # deferred batched accounting -> per-processor counters
+
+    iterates = [X[trial] for trial in range(n_trials)]
+    iteration_counts = [options.iterations] * n_trials
+    messages = ["completed scheduled iterations"] * n_trials
+
+    if options.aggressive is not None:
+        # With momentum, the smoother has accumulated a (n_trials, dim)
+        # direction over the scheduled phase (iterations >= 1); each trial's
+        # aggressive phase continues from its row, as the serial solver does.
+        directions = smoother.direction if smoother is not None else None
+        finals, extras, end_messages = _aggressive_phase_batch(
+            problem, batch, X, step, options, directions
+        )
+        for trial in range(n_trials):
+            iterates[trial] = finals[trial]
+            iteration_counts[trial] += extras[trial]
+            messages[trial] = end_messages[trial]
+
+    return [
+        OptimizationResult(
+            x=iterates[trial],
+            objective=float(problem.value(iterates[trial])),
+            iterations=iteration_counts[trial],
+            converged=True,
+            flops=batch.procs[trial].flops - flops_before[trial],
+            faults_injected=batch.procs[trial].faults_injected - faults_before[trial],
+            history=[],
+            message=messages[trial],
+        )
+        for trial in range(n_trials)
+    ]
+
+
+def _aggressive_phase_batch(
+    problem,
+    batch: ProcessorBatch,
+    X: np.ndarray,
+    initial_step: float,
+    options: SGDOptions,
+    directions: Optional[np.ndarray],
+):
+    """Tensorized :func:`_aggressive_phase`: masked batch over active trials.
+
+    The accept/reject control flow is per-trial (each trial accepts, rejects,
+    and terminates on its own data), but the expensive part — the noisy
+    gradient — is evaluated for all still-active trials as one batched call
+    per round.  A trial's generator is consumed exactly as many times, in
+    exactly the order, as its serial aggressive phase would consume it, so
+    results stay bit-identical; the reliably evaluated costs use the same
+    per-trial ``problem.value`` calls as the serial code.
+
+    ``directions`` carries the momentum state accumulated over the scheduled
+    phase (``None`` when momentum is off).  Returns per-trial final iterates,
+    iteration counts, and termination messages.
+    """
+    aggressive = options.aggressive
+    n_trials = len(batch)
+    tiny = np.finfo(float).tiny
+    steps = np.full(n_trials, max(initial_step, tiny))
+    iterates = [X[trial].copy() for trial in range(n_trials)]
+    current_costs = [float(problem.value(x)) for x in iterates]
+    iterations_used = [0] * n_trials
+    messages = ["aggressive stepping reached its iteration cap"] * n_trials
+    active = np.ones(n_trials, dtype=bool)
+    momentum = options.momentum if directions is not None else None
+    directions = directions.copy() if directions is not None else None
+
+    # Once only a handful of trials remain active, batching degenerates (the
+    # fused passes cost more than they amortize) — the stragglers finish on
+    # the serial phase below, which is bit-identical by construction.
+    straggler_cutoff = 4
+
+    sub_batch = batch
+    sub_index: Optional[Tuple[int, ...]] = tuple(range(n_trials))
+    for _ in range(aggressive.max_iterations):
+        index = np.flatnonzero(active)
+        if index.size == 0 or index.size <= straggler_cutoff:
+            break
+        key = tuple(int(t) for t in index)
+        if key != sub_index:
+            sub_batch.flush()  # hand pending accounting over before narrowing
+            sub_batch = ProcessorBatch([batch.procs[t] for t in key])
+            sub_index = key
+        X_active = np.stack([iterates[t] for t in key])
+        gradients = _sanitize_gradient_rows(
+            problem.gradient_batch(X_active, sub_batch), options
+        )
+        if momentum is not None:
+            directions[index] = (
+                momentum * gradients + (1.0 - momentum) * directions[index]
+            )
+            move = directions[index]
+        else:
+            move = gradients
+        candidates = X_active - steps[index, np.newaxis] * move
+        for row, trial in enumerate(key):
+            iterations_used[trial] += 1
+            candidate_cost = float(problem.value(candidates[row]))
+            if np.isfinite(candidate_cost) and candidate_cost < current_costs[trial]:
+                if aggressive.should_stop(current_costs[trial], candidate_cost):
+                    iterates[trial] = candidates[row]
+                    current_costs[trial] = candidate_cost
+                    messages[trial] = "aggressive stepping converged"
+                    active[trial] = False
+                    continue
+                iterates[trial] = candidates[row]
+                current_costs[trial] = candidate_cost
+                steps[trial] = aggressive.update_step(steps[trial], cost_decreased=True)
+            else:
+                steps[trial] = aggressive.update_step(steps[trial], cost_decreased=False)
+                if steps[trial] < tiny:
+                    messages[trial] = "aggressive stepping step size underflowed"
+                    active[trial] = False
+    sub_batch.flush()
+    for trial in np.flatnonzero(active):
+        remaining = aggressive.max_iterations - iterations_used[trial]
+        if remaining <= 0:
+            continue
+        trial_smoother = None
+        if momentum is not None:
+            trial_smoother = MomentumSmoother(momentum)
+            trial_smoother.load(directions[trial])
+        x, extra, message = _aggressive_phase(
+            problem,
+            batch.procs[trial],
+            iterates[trial],
+            float(steps[trial]),
+            options,
+            trial_smoother,
+            max_iterations=remaining,
+        )
+        iterates[trial] = x
+        iterations_used[trial] += extra
+        messages[trial] = message
+    return iterates, iterations_used, messages
+
+
 def _aggressive_phase(
     problem,
     proc: StochasticProcessor,
@@ -236,6 +479,7 @@ def _aggressive_phase(
     initial_step: float,
     options: SGDOptions,
     smoother: Optional[MomentumSmoother],
+    max_iterations: Optional[int] = None,
 ):
     """The variable-step phase appended by "SGD+AS" (§3.2).
 
@@ -243,13 +487,16 @@ def _aggressive_phase(
     step grows; moves that increase it are rejected and the step shrinks.
     The phase ends when the relative change between consecutive accepted
     costs falls below the configured threshold or the iteration cap is hit.
+    ``max_iterations`` overrides the configured cap — the batched driver uses
+    it to hand a partially completed phase over with the remaining budget.
     """
     aggressive = options.aggressive
     step = max(initial_step, np.finfo(float).tiny)
     current_cost = float(problem.value(x))
     iterations_used = 0
     message = "aggressive stepping reached its iteration cap"
-    for _ in range(aggressive.max_iterations):
+    cap = aggressive.max_iterations if max_iterations is None else max_iterations
+    for _ in range(cap):
         iterations_used += 1
         gradient = _sanitize_gradient(problem.gradient(x, proc), options)
         direction = smoother.update(gradient) if smoother is not None else gradient

@@ -206,6 +206,20 @@ class StochasticProcessor:
             raise ValueError(f"flop count must be non-negative, got {n}")
         self._array_flops += int(n)
 
+    def record_vectorized(self, ops: int, faults: int) -> None:
+        """Fold one batched corruption pass into this processor's counters.
+
+        Called by :class:`~repro.processor.batch.ProcessorBatch` after a fused
+        corruption pass handled this processor's trial row: ``ops`` FLOPs were
+        executed through the injector's generator and ``faults`` of their
+        results were corrupted.  Leaves every counter exactly as the
+        equivalent per-trial :meth:`corrupt` call would have left it.
+        """
+        if ops < 0:
+            raise ValueError(f"flop count must be non-negative, got {ops}")
+        self._array_flops += int(ops)
+        self._injector.record_vectorized(ops, faults)
+
     def spawn(self, fault_rate: Optional[float] = None) -> "StochasticProcessor":
         """A fresh processor with the same models but independent randomness.
 

@@ -69,7 +69,15 @@ class TestFlipScalar:
         once = flip_bit_scalar(value, bit, dtype=np.float32)
         twice = flip_bit_scalar(once, bit, dtype=np.float32)
         original = float(np.float32(value))
-        assert twice == original or (np.isnan(twice) and np.isnan(original))
+        # The involution can only hold when the intermediate value is not a
+        # NaN: flip_bit_scalar returns a Python float, and converting a
+        # signaling NaN through the FPU sets its quiet bit (e.g. flipping bit
+        # 30 of 1.25f gives sNaN 0x7FA00000, which quiets to 0x7FE00000), so
+        # flipping the same bit again yields a different finite value.  That
+        # canonicalization is real FPU behaviour, not an injector bug.
+        assert twice == original or np.isnan(once) or (
+            np.isnan(twice) and np.isnan(original)
+        )
 
 
 class TestFlipArray:

@@ -75,7 +75,9 @@ class TestExecutorEquivalence:
     def reference(self):
         return ExperimentEngine(SerialExecutor()).run_sweep(make_sweep())
 
-    @pytest.mark.parametrize("executor", ["serial", "process", "batched"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "process", "batched", "vectorized", "auto"]
+    )
     def test_matches_serial_reference(self, executor, reference):
         options = {"workers": 4} if executor == "process" else {}
         engine = ExperimentEngine(get_executor(executor, **options))
@@ -84,7 +86,9 @@ class TestExecutorEquivalence:
         assert [s.name for s in result] == [s.name for s in reference]
         assert [s.fault_rates for s in result] == [s.fault_rates for s in reference]
 
-    @pytest.mark.parametrize("executor", ["serial", "process", "batched"])
+    @pytest.mark.parametrize(
+        "executor", ["serial", "process", "batched", "vectorized", "auto"]
+    )
     def test_batchable_trial_identical_across_executors(self, executor):
         def sweep():
             return SweepSpec(
@@ -126,7 +130,7 @@ class TestExecutorEquivalence:
 
 class TestExecutors:
     def test_registry(self):
-        assert list_executors() == ["batched", "process", "serial"]
+        assert list_executors() == ["auto", "batched", "process", "serial", "vectorized"]
         with pytest.raises(ValueError, match="unknown executor"):
             get_executor("gpu")
 

@@ -1,0 +1,336 @@
+"""Tests for the tensorized trial backend.
+
+The backend's contract is bit-identity: every batched layer — the fused fault
+kernels, the :class:`ProcessorBatch` substrate, the batched SGD driver, the
+application batch entry points, and the ``vectorized`` executor — must
+reproduce the serial reference byte for byte on the same seeds, across mixed
+fault rates (including zero).  These tests pin that contract at each layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.applications.least_squares import (
+    default_least_squares_step,
+    robust_least_squares_sgd,
+    robust_least_squares_sgd_batch,
+)
+from repro.applications.sorting import (
+    default_sorting_config,
+    robust_sort,
+    robust_sort_batch,
+)
+from repro.core.variants import sgd_options_for_variant
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.executors import AutoExecutor, VectorizedExecutor, batchable
+from repro.experiments.figures import sorting_trial_functions
+from repro.experiments.spec import SweepSpec
+from repro.experiments.tensor import (
+    function_supports_batch,
+    make_trial_batch,
+    run_tensor_cell,
+)
+from repro.experiments.trials import make_noisy_sum_trial
+from repro.faults.distribution import EmulatedBitDistribution
+from repro.faults.vectorized import corrupt_array, corrupt_batch
+from repro.optimizers.problem import QuadraticProblem
+from repro.optimizers.sgd import (
+    SGDOptions,
+    stochastic_gradient_descent,
+    stochastic_gradient_descent_batch,
+)
+from repro.processor.batch import ProcessorBatch, batch_matvec, batch_sub
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.generators import random_array, random_least_squares
+
+MIXED_RATES = [0.0, 0.001, 0.01, 0.1, 0.1, 0.5]
+
+
+def make_procs(rates=MIXED_RATES, seed=7):
+    return [
+        StochasticProcessor(fault_rate=rate, rng=np.random.default_rng([seed, i]))
+        for i, rate in enumerate(rates)
+    ]
+
+
+class TestCorruptBatchMixedRates:
+    def test_per_trial_rates_match_corrupt_array(self):
+        """corrupt_batch with one rate per row equals per-trial corruption."""
+        distribution = EmulatedBitDistribution(width=32)
+        stacked = np.random.default_rng(3).random((len(MIXED_RATES), 64)).astype(np.float32)
+        batch_rngs = [np.random.default_rng([5, t]) for t in range(len(MIXED_RATES))]
+        serial_rngs = [np.random.default_rng([5, t]) for t in range(len(MIXED_RATES))]
+        batched, faults = corrupt_batch(stacked, MIXED_RATES, 4, distribution, batch_rngs)
+        for t, rate in enumerate(MIXED_RATES):
+            row, n_faults = corrupt_array(stacked[t], rate, 4, distribution, serial_rngs[t])
+            np.testing.assert_array_equal(batched[t], row)
+            assert faults[t] == n_faults
+
+    def test_rate_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="fault rates"):
+            corrupt_batch(
+                np.ones((3, 4), dtype=np.float32),
+                [0.1, 0.2],
+                1,
+                EmulatedBitDistribution(width=32),
+                [np.random.default_rng(t) for t in range(3)],
+            )
+
+
+class TestProcessorBatch:
+    def test_corrupt_matches_per_trial_corrupt(self):
+        """ProcessorBatch.corrupt row t == procs[t].corrupt, values and counters."""
+        workload = np.random.default_rng(11).standard_normal((len(MIXED_RATES), 9, 13))
+        serial_procs, batch_procs = make_procs(), make_procs()
+        expected = np.stack(
+            [proc.corrupt(workload[t], ops_per_element=3) for t, proc in enumerate(serial_procs)]
+        )
+        batch = ProcessorBatch(batch_procs)
+        actual = batch.corrupt(workload, ops_per_element=3)
+        batch.flush()
+        np.testing.assert_array_equal(actual, expected)
+        for serial_proc, batch_proc in zip(serial_procs, batch_procs):
+            assert batch_proc.flops == serial_proc.flops
+            assert batch_proc.faults_injected == serial_proc.faults_injected
+
+    def test_corrupt_elementwise_ops_array(self):
+        """The general path (per-element FLOP counts) is also bit-identical."""
+        ops = np.arange(1, 13).reshape(3, 4)
+        workload = np.random.default_rng(2).standard_normal((len(MIXED_RATES), 3, 4))
+        serial_procs, batch_procs = make_procs(), make_procs()
+        expected = np.stack(
+            [proc.corrupt(workload[t], ops_per_element=ops) for t, proc in enumerate(serial_procs)]
+        )
+        batch = ProcessorBatch(batch_procs)
+        actual = batch.corrupt(workload, ops_per_element=ops)
+        batch.flush()
+        np.testing.assert_array_equal(actual, expected)
+        assert [p.flops for p in batch_procs] == [p.flops for p in serial_procs]
+
+    def test_batch_primitives_match_noisy_ops(self):
+        from repro.linalg.ops import noisy_matvec, noisy_sub
+
+        A = np.random.default_rng(0).standard_normal((7, 5))
+        X = np.random.default_rng(1).standard_normal((len(MIXED_RATES), 5))
+        y = np.random.default_rng(4).standard_normal(7)
+        serial_procs, batch_procs = make_procs(), make_procs()
+        expected = np.stack(
+            [
+                noisy_sub(proc, noisy_matvec(proc, A, X[t]), y)
+                for t, proc in enumerate(serial_procs)
+            ]
+        )
+        batch = ProcessorBatch(batch_procs)
+        actual = batch_sub(batch, batch_matvec(batch, A, X), y)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one processor"):
+            ProcessorBatch([])
+
+    def test_wrong_leading_dimension_rejected(self):
+        batch = ProcessorBatch(make_procs())
+        with pytest.raises(ValueError, match="leading"):
+            batch.corrupt(np.zeros((2, 3)))
+
+
+class TestBatchedSGD:
+    @pytest.mark.parametrize("variant", ["SGD,LS", "SGD+AS,SQS", "MOMENTUM"])
+    def test_quadratic_matches_serial(self, variant):
+        A, b, _ = random_least_squares(40, 6, rng=17)
+        options = sgd_options_for_variant(
+            variant, iterations=60, base_step=default_least_squares_step(A)
+        )
+        problem = QuadraticProblem(A, b)
+        serial = [
+            stochastic_gradient_descent(problem, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = stochastic_gradient_descent_batch(
+            problem, ProcessorBatch(make_procs()), options=options
+        )
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.x, s.x)
+            assert v.objective == s.objective
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+            assert v.iterations == s.iterations
+
+    def test_outlier_rejection_matches_serial(self):
+        A, b, _ = random_least_squares(30, 5, rng=3)
+        options = SGDOptions(
+            iterations=40,
+            base_step=default_least_squares_step(A),
+            outlier_rejection=8.0,
+        )
+        problem = QuadraticProblem(A, b)
+        serial = [
+            stochastic_gradient_descent(problem, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = stochastic_gradient_descent_batch(
+            problem, ProcessorBatch(make_procs()), options=options
+        )
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.x, s.x)
+
+    def test_record_history_falls_back_per_trial(self):
+        A, b, _ = random_least_squares(20, 4, rng=5)
+        options = SGDOptions(iterations=20, base_step=default_least_squares_step(A),
+                             record_history=True, record_every=5)
+        problem = QuadraticProblem(A, b)
+        batched = stochastic_gradient_descent_batch(
+            problem, ProcessorBatch(make_procs()), options=options
+        )
+        serial = [
+            stochastic_gradient_descent(problem, proc, options=options)
+            for proc in make_procs()
+        ]
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.x, s.x)
+            assert [r.objective for r in v.history] == [r.objective for r in s.history]
+
+
+class TestApplicationBatchPaths:
+    @pytest.mark.parametrize("variant", ["SGD,LS", "SGD+AS,LS", "ALL"])
+    def test_robust_sort_batch_matches_serial(self, variant):
+        values = random_array(4, rng=2010, min_gap=0.08)
+        config = default_sorting_config(iterations=60, variant=variant, values=values)
+        serial = [robust_sort(values, proc, config) for proc in make_procs()]
+        batched = robust_sort_batch(values, make_procs(), config)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.output, s.output)
+            assert v.success == s.success
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+            np.testing.assert_array_equal(v.optimizer_result.x, s.optimizer_result.x)
+
+    def test_robust_least_squares_sgd_batch_matches_serial(self):
+        A, b, _ = random_least_squares(50, 8, rng=2010)
+        options = sgd_options_for_variant(
+            "SGD,LS", iterations=80, base_step=default_least_squares_step(A)
+        )
+        serial = [
+            robust_least_squares_sgd(A, b, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = robust_least_squares_sgd_batch(A, b, make_procs(), options=options)
+        for s, v in zip(serial, batched):
+            assert v.relative_error == s.relative_error
+            assert v.residual_norm == s.residual_norm
+            assert v.flops == s.flops
+            np.testing.assert_array_equal(v.x, s.x)
+
+
+def sorting_sweep(trials=3, iterations=40, rates=(0.0, 0.01, 0.1)):
+    values = random_array(4, rng=2010, min_gap=0.08)
+    return SweepSpec(
+        sorting_trial_functions(values, iterations, series={"Base": None, "SGD": "SGD,LS"}),
+        fault_rates=rates,
+        trials=trials,
+        seed=2010,
+    )
+
+
+class TestVectorizedExecutor:
+    def test_supports_batch_flags(self):
+        sweep = sorting_sweep()
+        assert sweep.batchable_series == ["SGD"]
+        assert sweep.supports_batch
+        flags = {spec.series_name: spec.supports_batch for spec in sweep.expand()}
+        assert flags == {"Base": False, "SGD": True}
+
+    def test_sorting_sweep_bit_identical_to_serial(self):
+        """The acceptance scenario: vectorized == serial on a Fig 6.1 sweep."""
+        reference = ExperimentEngine("serial").run_sweep(sorting_sweep())
+        vectorized = ExperimentEngine("vectorized").run_sweep(sorting_sweep())
+        assert [s.values for s in vectorized] == [s.values for s in reference]
+        assert [s.name for s in vectorized] == [s.name for s in reference]
+
+    def test_executor_batches_whole_series_across_rates(self):
+        calls = []
+        trial = make_noisy_sum_trial(n=16)
+        original = trial.run_batch
+
+        def counting(procs, streams):
+            calls.append(sorted({proc.fault_rate for proc in procs}))
+            return original(procs, streams)
+
+        trial.run_batch = counting
+        sweep = SweepSpec({"noise": trial}, fault_rates=(0.0, 0.1, 0.4), trials=4, seed=0)
+        VectorizedExecutor().run(sweep, sweep.expand())
+        # One call for the whole series, spanning every fault rate.
+        assert calls == [[0.0, 0.1, 0.4]]
+
+    def test_noisy_sum_identical_across_cell_and_series_batching(self):
+        def sweep():
+            return SweepSpec(
+                {"noise": make_noisy_sum_trial(n=32, ops_per_element=6)},
+                fault_rates=(0.0, 0.05, 0.5),
+                trials=4,
+                seed=13,
+            )
+
+        serial = ExperimentEngine("serial").run_sweep(sweep())
+        batched = ExperimentEngine("batched").run_sweep(sweep())
+        vectorized = ExperimentEngine("vectorized").run_sweep(sweep())
+        assert [s.values for s in vectorized] == [s.values for s in serial]
+        assert [s.values for s in batched] == [s.values for s in serial]
+
+    def test_auto_executor_picks_fast_path(self):
+        auto = ExperimentEngine("auto").run_sweep(sorting_sweep())
+        serial = ExperimentEngine("serial").run_sweep(sorting_sweep())
+        assert [s.values for s in auto] == [s.values for s in serial]
+
+    def test_auto_executor_delegation(self):
+        batchable_sweep = sorting_sweep()
+        assert isinstance(AutoExecutor(), AutoExecutor)
+        plain = SweepSpec({"plain": lambda proc, rng: 0.0}, fault_rates=(0.1,), trials=2)
+        assert not plain.supports_batch
+        values = AutoExecutor().run(plain, plain.expand())
+        assert values == [0.0, 0.0]
+        values = AutoExecutor().run(batchable_sweep, batchable_sweep.expand())
+        assert len(values) == len(batchable_sweep)
+
+
+class TestTensorHelpers:
+    def test_function_supports_batch(self):
+        assert function_supports_batch(make_noisy_sum_trial())
+
+        def plain(proc, rng):
+            return 0.0
+
+        assert not function_supports_batch(plain)
+
+    def test_make_trial_batch_mirrors_serial_construction(self):
+        sweep = sorting_sweep()
+        specs = sweep.expand()[:4]
+        streams, procs = make_trial_batch(specs)
+        assert [proc.fault_rate for proc in procs] == [spec.fault_rate for spec in specs]
+        # Streams are the serial streams (make_processor consumes one seed
+        # draw, exactly like the serial run_trial path): same next draw.
+        expected = []
+        for spec in specs:
+            stream = spec.make_stream()
+            spec.make_processor(stream)
+            expected.append(stream.random())
+        assert [stream.random() for stream in streams] == expected
+
+    def test_run_tensor_cell_validates(self):
+        sweep = sorting_sweep()
+        assert run_tensor_cell(sweep, []) == []
+
+        def plain(proc, rng):
+            return 0.0
+
+        plain_sweep = SweepSpec({"p": plain}, fault_rates=(0.1,), trials=2)
+        with pytest.raises(ValueError, match="no batch implementation"):
+            run_tensor_cell(plain_sweep, plain_sweep.expand())
+
+        @batchable(lambda procs, streams: [0.0])
+        def bad(proc, rng):
+            return 0.0
+
+        bad_sweep = SweepSpec({"b": bad}, fault_rates=(0.1,), trials=3)
+        with pytest.raises(ValueError, match="returned 1 values"):
+            run_tensor_cell(bad_sweep, bad_sweep.expand())
