@@ -1,13 +1,10 @@
 """Figure 5.1 — measured vs emulated bit-fault-position distribution."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_5_1
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
 def test_fig5_1_fault_distribution(benchmark):
-    figure = benchmark.pedantic(figure_5_1, rounds=1, iterations=1)
-    print_report(format_figure(figure))
+    figure = run_kernel_benchmark(benchmark, "fault_distribution")
     measured = figure.series_named("Measured")
     emulated = figure.series_named("Emulated")
     # Both distributions are bimodal: the high-order band (top mantissa bits

@@ -1,13 +1,10 @@
 """Figure 5.2 — FPU error rate as the supply voltage is scaled."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_5_2
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
 def test_fig5_2_voltage_curve(benchmark):
-    figure = benchmark.pedantic(figure_5_2, kwargs={"n_points": 10}, rounds=1, iterations=1)
-    print_report(format_figure(figure))
+    figure = run_kernel_benchmark(benchmark, "voltage_curve", n_points=10)
     rates = [v[0] for v in figure.series_named("FPU error rate").values]
     # Near-nominal voltage the FPU is essentially error free; at deep
     # overscaling the error rate approaches one error every couple of FLOPs.

@@ -7,24 +7,15 @@ sorting correctly at fault rates where it at least matches the conventional
 sort, which degrades as faults corrupt comparisons and element moves.
 """
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_1
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_1_sorting(benchmark, reduced_fault_rates, process_engine):
-    figure = benchmark.pedantic(
-        figure_6_1,
-        kwargs={
-            "trials": 3,
-            "iterations": 4000,
-            "fault_rates": reduced_fault_rates,
-            "engine": process_engine,
-        },
-        rounds=1,
-        iterations=1,
+def test_fig6_1_sorting(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "sorting",
+        trials=3, iterations=4000, fault_rates=reduced_fault_rates,
+        engine=auto_engine,
     )
-    print_report(format_figure(figure, use_success_rate=True))
     robust = figure.series_named("SGD+AS,SQS").success_rates()
     plain = figure.series_named("SGD").success_rates()
     base = figure.series_named("Base").success_rates()

@@ -2,19 +2,15 @@
 
 import numpy as np
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_2
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_2_least_squares(benchmark, reduced_fault_rates):
-    figure = benchmark.pedantic(
-        figure_6_2,
-        kwargs={"trials": 3, "iterations": 1000, "fault_rates": reduced_fault_rates},
-        rounds=1,
-        iterations=1,
+def test_fig6_2_least_squares(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "least_squares_sgd",
+        trials=3, iterations=1000, fault_rates=reduced_fault_rates,
+        engine=auto_engine,
     )
-    print_report(format_figure(figure))
     sgd = figure.series_named("SGD,LS").means()
     svd = figure.series_named("Base: SVD").means()
     # The robust solver's error stays bounded while the SVD baseline's error

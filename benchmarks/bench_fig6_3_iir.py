@@ -1,24 +1,14 @@
 """Figure 6.3 — IIR error-to-signal ratio vs fault rate."""
 
-
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_3
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_3_iir(benchmark, reduced_fault_rates):
-    figure = benchmark.pedantic(
-        figure_6_3,
-        kwargs={
-            "trials": 3,
-            "iterations": 800,
-            "fault_rates": reduced_fault_rates,
-            "signal_length": 300,
-        },
-        rounds=1,
-        iterations=1,
+def test_fig6_3_iir(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "iir",
+        trials=3, iterations=800, fault_rates=reduced_fault_rates,
+        signal_length=300, engine=auto_engine,
     )
-    print_report(format_figure(figure))
     robust = figure.series_named("SGD+AS,LS").means()
     base = figure.series_named("Base").means()
     # The recursive baseline accumulates error with the fault rate; the

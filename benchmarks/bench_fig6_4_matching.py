@@ -1,23 +1,14 @@
 """Figure 6.4 — bipartite matching success rate vs fault rate."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_4
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_4_matching(benchmark, reduced_fault_rates, process_engine):
-    figure = benchmark.pedantic(
-        figure_6_4,
-        kwargs={
-            "trials": 3,
-            "iterations": 4000,
-            "fault_rates": reduced_fault_rates,
-            "engine": process_engine,
-        },
-        rounds=1,
-        iterations=1,
+def test_fig6_4_matching(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "matching",
+        trials=3, iterations=4000, fault_rates=reduced_fault_rates,
+        engine=auto_engine,
     )
-    print_report(format_figure(figure, use_success_rate=True))
     robust = figure.series_named("SGD+AS,SQS").success_rates()
     base = figure.series_named("Base").success_rates()
     # Fault-free the robust LP recovers the optimal matching; at the highest

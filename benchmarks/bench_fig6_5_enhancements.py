@@ -1,18 +1,14 @@
 """Figure 6.5 — effect of the gradient-descent enhancements on matching success."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_5
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_5_enhancements(benchmark):
-    figure = benchmark.pedantic(
-        figure_6_5,
-        kwargs={"trials": 3, "iterations": 4000, "fault_rates": (0.05, 0.2, 0.5)},
-        rounds=1,
-        iterations=1,
+def test_fig6_5_enhancements(benchmark, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "matching_enhancements",
+        trials=3, iterations=4000, fault_rates=(0.05, 0.2, 0.5),
+        engine=auto_engine,
     )
-    print_report(format_figure(figure, use_success_rate=True))
     non_robust = figure.series_named("Non-robust").success_rates()
     enhanced = figure.series_named("ALL").success_rates()
     sqs = figure.series_named("SQS").success_rates()

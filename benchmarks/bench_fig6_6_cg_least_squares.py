@@ -2,23 +2,18 @@
 
 import numpy as np
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_6
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_fig6_6_cg_least_squares(benchmark):
+def test_fig6_6_cg_least_squares(benchmark, auto_engine):
     # CG runs only 10 iterations, so the relevant regime (as in the paper's
     # energy analysis) is the low-to-moderate fault rates reachable by
     # voltage overscaling, not the 20-50 % regime of the SGD sweeps.
     fault_rates = (0.0001, 0.001, 0.01, 0.05)
-    figure = benchmark.pedantic(
-        figure_6_6,
-        kwargs={"trials": 3, "fault_rates": fault_rates},
-        rounds=1,
-        iterations=1,
+    figure = run_kernel_benchmark(
+        benchmark, "cg_least_squares",
+        trials=3, fault_rates=fault_rates, engine=auto_engine,
     )
-    print_report(format_figure(figure))
     cg = figure.series_named("CG, N=10").means()
     cholesky = figure.series_named("Base: Cholesky").means()
     # CG stays accurate where the Cholesky normal-equations baseline has

@@ -1,18 +1,12 @@
 """Figure 6.7 — FPU energy vs accuracy target for least squares (CG vs Cholesky)."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import figure_6_7
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
 def test_fig6_7_energy(benchmark):
-    figure = benchmark.pedantic(
-        figure_6_7,
-        kwargs={"accuracy_targets": (1e-5, 1e-3, 1e-1), "trials": 2},
-        rounds=1,
-        iterations=1,
+    figure = run_kernel_benchmark(
+        benchmark, "energy", accuracy_targets=(1e-5, 1e-3, 1e-1), trials=2,
     )
-    print_report(format_figure(figure))
     cg = [v[0] for v in figure.series_named("CG").values]
     cholesky = [v[0] for v in figure.series_named("Base: Cholesky").values]
     # At the loosest accuracy target CG can exploit voltage overscaling and

@@ -1,18 +1,13 @@
 """§6.2.2 — effect of momentum (β = 0.5) on sorting and matching success."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import momentum_study
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
-def test_sec6_2_momentum(benchmark):
-    figure = benchmark.pedantic(
-        momentum_study,
-        kwargs={"trials": 3, "iterations": 2500, "fault_rate": 0.1},
-        rounds=1,
-        iterations=1,
+def test_sec6_2_momentum(benchmark, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "momentum",
+        trials=3, iterations=2500, fault_rate=0.1, engine=auto_engine,
     )
-    print_report(format_figure(figure, use_success_rate=True))
     rates = {series.name: series.success_rates()[0] for series in figure.series}
     # Momentum must not catastrophically hurt either kernel (the paper reports
     # a 20-40 % gain for sorting and a <5 % change for matching).

@@ -1,13 +1,10 @@
 """§6.3 — FLOP cost of CG vs the decomposition baselines (fault-free)."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import flop_cost_comparison
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
 def test_sec6_3_flop_costs(benchmark):
-    figure = benchmark.pedantic(flop_cost_comparison, rounds=1, iterations=1)
-    print_report(format_figure(figure))
+    figure = run_kernel_benchmark(benchmark, "flop_costs")
     flops = {series.name: series.values[0][0] for series in figure.series}
     # CG with 10 iterations is cheaper than the QR and SVD baselines (the
     # paper reports ~30 % faster) and within a small factor of Cholesky.

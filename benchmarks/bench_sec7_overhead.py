@@ -1,18 +1,12 @@
 """§7 — FLOP overhead of the robust implementations over their baselines."""
 
-from benchmarks.conftest import print_report
-from repro.experiments.figures import overhead_table
-from repro.experiments.reporting import format_figure
+from benchmarks.conftest import run_kernel_benchmark
 
 
 def test_sec7_overhead(benchmark):
-    figure = benchmark.pedantic(
-        overhead_table,
-        kwargs={"iterations_sorting": 2000, "iterations_lsq": 1000},
-        rounds=1,
-        iterations=1,
+    figure = run_kernel_benchmark(
+        benchmark, "overhead", iterations_sorting=2000, iterations_lsq=1000,
     )
-    print_report(format_figure(figure))
     ratios = {series.name: series.values[0][0] for series in figure.series}
     # The paper reports 10x-1000x more FLOPs for the stochastic versions.
     for name, ratio in ratios.items():

@@ -16,7 +16,7 @@ import time
 
 from benchmarks.conftest import print_report
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.figures import sorting_trial_functions
+from repro.experiments.kernels import sorting_trial_functions
 from repro.experiments.reporting import format_figure
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec

@@ -3,23 +3,30 @@
 By default runs a reduced-scale sweep of every figure (a few minutes); pass
 ``--paper-scale`` for the paper's full iteration counts (much slower).
 
-Sweeps execute through the experiment engine, so the executor is selectable
-(``--executor process --workers 4`` parallelizes across cores) and completed
-figures are cached on disk keyed by a content hash of their spec: re-running
-with unchanged parameters replays cached tables instead of recomputing.
+The figure list, reduced-scale parameters, cache-key payloads, and
+success-rate formatting all come from the application-kernel registry
+(``repro.experiments.kernels``) — this script holds no figure table of its
+own.  Sweeps execute through the experiment engine, so the executor is
+selectable (``--executor auto`` picks the tensorized backend for every
+batch-capable kernel) and completed figures are cached on disk keyed by a
+content hash of their spec: re-running with unchanged parameters replays
+cached tables instead of recomputing.
 
 Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
           [--executor {serial,process,batched,vectorized,auto}] [--workers N]
           [--only NAME [--only NAME ...]] [--trials N]
           [--cache-dir DIR | --no-cache] [--refresh] [--progress]
+
+``--only`` accepts registry kernel names (``sorting``, ``cg_least_squares``,
+...; see ``--list``) or the historical figure generator names
+(``figure_6_1``, ...).
 """
 
 import argparse
-import inspect
 import sys
 from pathlib import Path
 
-from repro.experiments import figures
+from repro.experiments import kernels
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.reporting import format_figure, save_figure_report
 
@@ -33,11 +40,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor",
                         choices=("serial", "process", "batched", "vectorized", "auto"),
                         default="auto", help="how sweep trials execute (auto picks "
-                        "the tensorized backend when a figure supports it)")
+                        "the tensorized backend when a kernel supports it)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for --executor process")
     parser.add_argument("--only", action="append", default=None, metavar="NAME",
-                        help="generate only this figure (repeatable), e.g. figure_6_1")
+                        help="generate only this kernel (repeatable); registry "
+                        "names (e.g. sorting) or figure names (e.g. figure_6_1)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered kernels and exit")
     parser.add_argument("--trials", type=int, default=None,
                         help="override the per-point trial count")
     parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
@@ -51,9 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def select_kernels(only) -> list:
+    """Resolve ``--only`` names (kernel or figure names) against the registry."""
+    if not only:
+        return kernels.list_kernels()
+    selected, unknown = [], []
+    for name in only:
+        try:
+            spec = kernels.get_kernel(name)
+        except KeyError:
+            unknown.append(name)
+            continue
+        if spec not in selected:
+            selected.append(spec)
+    if unknown:
+        raise SystemExit(
+            f"unknown kernel(s) {sorted(unknown)}; choose from {kernels.kernel_names()}"
+        )
+    return selected
+
+
 def main() -> None:
     parser = build_parser()
     args = parser.parse_args()
+    if args.list:
+        for spec in kernels.list_kernels():
+            tags = []
+            if spec.sweep:
+                tags.append("sweep")
+            if spec.batched:
+                tags.append("batched")
+            suffix = f" [{', '.join(tags)}]" if tags else ""
+            print(f"{spec.name:24s} {spec.figure_id:14s} {spec.figure}{suffix}")
+        return
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be positive, got {args.workers}")
     if args.trials is not None and args.trials < 0:
@@ -61,8 +101,6 @@ def main() -> None:
 
     scale = 1.0 if args.paper_scale else 0.25
     trials = args.trials if args.trials is not None else (5 if args.paper_scale else 3)
-    lp_iterations = int(10000 * scale)
-    numeric_iterations = int(1000 * max(scale, 0.5))
 
     def progress(event) -> None:
         if event.cell_done:
@@ -75,59 +113,19 @@ def main() -> None:
         progress=progress if args.progress else None,
     )
 
-    # (builder kwargs, cache-key payload) per figure; the payload must cover
-    # every parameter that shapes the figure's values.
-    generators = {
-        "figure_5_1": (figures.figure_5_1, {}),
-        "figure_5_2": (figures.figure_5_2, {}),
-        "figure_6_1": (figures.figure_6_1,
-                       {"trials": trials, "iterations": lp_iterations}),
-        "figure_6_2": (figures.figure_6_2,
-                       {"trials": trials, "iterations": numeric_iterations}),
-        "figure_6_3": (figures.figure_6_3,
-                       {"trials": trials, "iterations": numeric_iterations}),
-        "figure_6_4": (figures.figure_6_4,
-                       {"trials": trials, "iterations": lp_iterations}),
-        "figure_6_5": (figures.figure_6_5,
-                       {"trials": trials, "iterations": lp_iterations}),
-        "figure_6_6": (figures.figure_6_6, {"trials": trials}),
-        "figure_6_7": (figures.figure_6_7, {"trials": max(trials - 1, 2)}),
-        "overhead_table": (figures.overhead_table, {}),
-    }
-    if args.only:
-        unknown = sorted(set(args.only) - set(generators))
-        if unknown:
-            raise SystemExit(f"unknown figure(s) {unknown}; choose from {sorted(generators)}")
-        generators = {name: generators[name] for name in args.only}
-
-    def cache_params(builder, kwargs):
-        # The key must cover every parameter that shapes the figure's values,
-        # including the ones left at their defaults (workload seed, fault-rate
-        # grid, problem sizes): merge the builder's signature defaults with
-        # the explicit overrides so editing a default invalidates the cache.
-        params = {
-            name: parameter.default
-            for name, parameter in inspect.signature(builder).parameters.items()
-            if parameter.default is not inspect.Parameter.empty
-        }
-        params.update(kwargs)
-        params.pop("engine", None)
-        return params
-
-    sweep_figures = {
-        "figure_6_1", "figure_6_2", "figure_6_3", "figure_6_4", "figure_6_5", "figure_6_6",
-    }
-    success_rate_figures = {"figure_6_1", "figure_6_4", "figure_6_5"}
-    for name, (builder, kwargs) in generators.items():
-        key = {"figure": name, "params": cache_params(builder, kwargs)}
-        if name in sweep_figures:
+    for spec in select_kernels(args.only):
+        kwargs = spec.reduced_kwargs(trials, scale)
+        key = {"figure": spec.figure, "params": spec.cache_params(kwargs)}
+        if spec.sweep:
             kwargs = dict(kwargs, engine=engine)
-        figure = engine.run_figure(key, lambda: builder(**kwargs), refresh=args.refresh)
-        text = format_figure(figure, use_success_rate=name in success_rate_figures)
+        figure = engine.run_figure(
+            key, lambda: spec.build(**kwargs), refresh=args.refresh
+        )
+        text = format_figure(figure, use_success_rate=spec.use_success_rate)
         print("\n" + text)
         if args.output is not None:
-            save_figure_report(figure, args.output / f"{name}.txt",
-                               use_success_rate=name in success_rate_figures)
+            save_figure_report(figure, args.output / f"{spec.figure}.txt",
+                               use_success_rate=spec.use_success_rate)
 
 
 if __name__ == "__main__":

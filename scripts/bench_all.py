@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Benchmark every registered kernel and record the perf trajectory.
+
+For each kernel in the application-kernel registry
+(``repro.experiments.kernels``) this script regenerates the figure once at a
+reduced scale and emits a ``BENCH_<kernel>.json`` record containing the wall
+time, the tensorized-backend speedup over the serial reference (for sweep
+kernels with a batch tier), a bit-identity verdict, and the current commit
+hash — so the performance trajectory of the suite is tracked across PRs as
+checked-in artefacts.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/bench_all.py [--only NAME ...]
+        [--output-dir DIR] [--trials N] [--lp-iterations N]
+        [--numeric-iterations N]
+
+Sweep kernels run twice — once under the ``serial`` reference executor and
+once under ``vectorized`` (the tensorized trial backend) — and the two series
+sets must match bit for bit; the record stores both wall times and their
+ratio.  Non-sweep kernels run once and record wall time only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import kernels
+from repro.experiments.engine import ExperimentEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def commit_hash() -> str | None:
+    """The current git commit, or ``None`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", action="append", default=None, metavar="NAME",
+                        help="benchmark only this kernel (repeatable); registry "
+                        "or figure names")
+    parser.add_argument("--output-dir", type=Path, default=REPO_ROOT,
+                        help="where BENCH_<kernel>.json records go (default: repo root)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="per-point trial count for sweep kernels (default: 3)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fraction of each kernel's paper iteration budget "
+                        "(default: 0.2)")
+    return parser
+
+
+def series_values(figure) -> list:
+    return [series.values for series in figure.series]
+
+
+def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
+    """Time one kernel's reduced-scale build; sweep kernels get both tiers."""
+    kwargs = spec.reduced_kwargs(args.trials, args.scale)
+    record = {
+        "kernel": spec.name,
+        "figure": spec.figure,
+        "figure_id": spec.figure_id,
+        "params": {key: value for key, value in kwargs.items()},
+        "sweep": spec.sweep,
+        "batched": spec.batched,
+        "commit": commit_hash(),
+        "generated_by": "scripts/bench_all.py",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+    if not spec.sweep:
+        start = time.perf_counter()
+        spec.build(**kwargs)
+        record["wall_seconds"] = round(time.perf_counter() - start, 4)
+        record["serial_seconds"] = None
+        record["speedup_vs_serial"] = None
+        record["bit_identical_to_serial"] = None
+        return record
+
+    start = time.perf_counter()
+    serial_figure = spec.build(engine=ExperimentEngine("serial"), **kwargs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast_figure = spec.build(engine=ExperimentEngine("vectorized"), **kwargs)
+    fast_seconds = time.perf_counter() - start
+
+    identical = series_values(fast_figure) == series_values(serial_figure)
+    record["wall_seconds"] = round(fast_seconds, 4)
+    record["serial_seconds"] = round(serial_seconds, 4)
+    record["speedup_vs_serial"] = round(serial_seconds / max(fast_seconds, 1e-9), 3)
+    record["bit_identical_to_serial"] = identical
+    return record
+
+
+def main() -> int:
+    args = build_parser().parse_args()
+    if args.only:
+        try:
+            specs = [kernels.get_kernel(name) for name in args.only]
+        except KeyError as error:
+            raise SystemExit(str(error))
+    else:
+        specs = kernels.list_kernels()
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for spec in specs:
+        print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
+        record = bench_kernel(spec, args)
+        path = args.output_dir / f"BENCH_{spec.name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        if record["sweep"]:
+            verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+            print(
+                f"  serial {record['serial_seconds']:.2f}s, vectorized "
+                f"{record['wall_seconds']:.2f}s, speedup "
+                f"x{record['speedup_vs_serial']:.2f}, bit-identity {verdict}"
+            )
+            if not record["bit_identical_to_serial"]:
+                failures.append(spec.name)
+        else:
+            print(f"  wall {record['wall_seconds']:.2f}s")
+    if failures:
+        print(f"[bench_all] BIT-IDENTITY FAILURES: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

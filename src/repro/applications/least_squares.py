@@ -18,7 +18,11 @@ import numpy as np
 from repro.core.verification import relative_difference
 from repro.linalg.solve import least_squares_baseline
 from repro.optimizers.base import OptimizationResult
-from repro.optimizers.conjugate_gradient import CGOptions, conjugate_gradient_least_squares
+from repro.optimizers.conjugate_gradient import (
+    CGOptions,
+    conjugate_gradient_least_squares,
+    conjugate_gradient_least_squares_batch,
+)
 from repro.optimizers.problem import QuadraticProblem
 from repro.optimizers.sgd import (
     SGDOptions,
@@ -34,6 +38,7 @@ __all__ = [
     "robust_least_squares_sgd",
     "robust_least_squares_sgd_batch",
     "robust_least_squares_cg",
+    "robust_least_squares_cg_batch",
     "baseline_least_squares",
 ]
 
@@ -221,6 +226,42 @@ def robust_least_squares_cg(
         faults=proc.faults_injected - faults_before,
         optimizer_result=result,
     )
+
+
+def robust_least_squares_cg_batch(
+    A: np.ndarray,
+    b: np.ndarray,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    options: Optional[CGOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> List[LeastSquaresResult]:
+    """Run one restarted-CG least-squares solve per processor as a tensor loop.
+
+    The batch entry point for Figures 6.6/6.7 workloads: every trial advances
+    together through
+    :func:`~repro.optimizers.conjugate_gradient.conjugate_gradient_least_squares_batch`
+    (a masked-batch CGNR driver).  Trial ``t``'s :class:`LeastSquaresResult`
+    is bit-identical to ``robust_least_squares_cg(A, b, procs[t], options,
+    x0)``.
+    """
+    options = options if options is not None else CGOptions(iterations=10)
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    batch.flush()  # counters must be current before the baseline read
+    flops_before = [proc.flops for proc in batch.procs]
+    faults_before = [proc.faults_injected for proc in batch.procs]
+    results = conjugate_gradient_least_squares_batch(A, b, batch, options=options, x0=x0)
+    return [
+        _finish(
+            A,
+            b,
+            result.x,
+            method=f"cg[{options.iterations}]",
+            flops=proc.flops - flops_before[trial],
+            faults=proc.faults_injected - faults_before[trial],
+            optimizer_result=result,
+        )
+        for trial, (proc, result) in enumerate(zip(batch.procs, results))
+    ]
 
 
 def baseline_least_squares(

@@ -18,17 +18,22 @@ accurately chosen" — the rounded matching equals the optimum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.optimize
 
-from repro.core.transform import RobustSolveConfig, solve_penalized_lp
+from repro.core.transform import (
+    RobustSolveConfig,
+    solve_penalized_lp,
+    solve_penalized_lp_batch,
+)
 from repro.exceptions import ProblemSpecificationError
 from repro.optimizers.annealing import PenaltyAnnealing
 from repro.optimizers.penalty import PenaltyKind
 from repro.optimizers.base import OptimizationResult
 from repro.optimizers.problem import LinearConstraints, LinearProgram
+from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 from repro.workloads.graphs import BipartiteGraph
 
@@ -39,6 +44,7 @@ __all__ = [
     "optimal_matching",
     "matching_margin",
     "robust_matching",
+    "robust_matching_batch",
     "baseline_matching",
     "default_matching_config",
 ]
@@ -230,6 +236,48 @@ def robust_matching(
         method=f"robust[{config.variant}]",
         optimizer_result=result,
     )
+
+
+def robust_matching_batch(
+    graph: BipartiteGraph,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    config: Optional[RobustSolveConfig] = None,
+) -> List[MatchingResult]:
+    """Run one robust matching per processor as a single tensorized solve.
+
+    The batch entry point of the tensorized trial backend: the matching LP
+    and solver configuration are built once (they depend only on ``graph``),
+    the stochastic solve runs through
+    :func:`~repro.core.transform.solve_penalized_lp_batch` as one batched
+    numpy loop over every trial's iterate, and only the cheap reliable
+    control-phase steps (greedy rounding, success check) run per trial.
+    Trial ``t``'s :class:`MatchingResult` is bit-identical to
+    ``robust_matching(graph, procs[t], config)``.
+    """
+    lp = matching_linear_program(graph)
+    config = config if config is not None else default_matching_config(graph=graph)
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    batch.flush()  # counters must be current before the baseline read
+    flops_before = [proc.flops for proc in batch.procs]
+    faults_before = [proc.faults_injected for proc in batch.procs]
+    solutions, results = solve_penalized_lp_batch(lp, batch, config=config)
+    optimal_edges, optimal_weight = optimal_matching(graph)
+    outcomes: List[MatchingResult] = []
+    for trial, proc in enumerate(batch.procs):
+        selected = round_to_matching(graph, solutions[trial])
+        outcomes.append(
+            MatchingResult(
+                edges=selected,
+                weight=_matching_weight(graph, selected),
+                optimal_weight=optimal_weight,
+                success=selected == optimal_edges,
+                flops=proc.flops - flops_before[trial],
+                faults_injected=proc.faults_injected - faults_before[trial],
+                method=f"robust[{config.variant}]",
+                optimizer_result=results[trial],
+            )
+        )
+    return outcomes
 
 
 def baseline_matching(

@@ -22,7 +22,11 @@ Figure    Generator
 Each generator returns a :class:`repro.experiments.results.FigureResult` whose
 series can be printed with :func:`repro.experiments.reporting.format_figure`.
 The ``trials`` / ``iterations`` arguments default to laptop-scale settings;
-the docstrings state the paper's full-scale values.
+the docstrings state the paper's full-scale values.  The generators are thin
+specs over the application-kernel registry
+(:mod:`repro.experiments.kernels`), which records each workload's trial
+factory, metric, batch capability, and reduced-scale parameters under a
+stable kernel name (``"sorting"``, ``"cg_least_squares"``, ...).
 
 Sweeps execute through the :class:`~repro.experiments.engine.ExperimentEngine`
 plan/execute subsystem: a sweep is expanded into seeded
@@ -42,9 +46,18 @@ from repro.experiments.executors import (
     ProcessExecutor,
     SerialExecutor,
     VectorizedExecutor,
-    batchable,
     get_executor,
     list_executors,
+)
+from repro.experiments.kernels import (
+    KernelSpec,
+    batch_implementation,
+    batchable,
+    batchable_series,
+    get_kernel,
+    is_batchable,
+    kernel_names,
+    list_kernels,
 )
 from repro.experiments.cache import ResultCache, spec_hash
 from repro.experiments.results import FigureResult, SeriesResult
@@ -56,6 +69,7 @@ from repro.experiments.spec import (
 from repro.experiments.runner import run_fault_rate_sweep
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
 from repro.experiments import figures
+from repro.experiments import kernels
 from repro.experiments import tensor
 
 __all__ = [
@@ -68,7 +82,14 @@ __all__ = [
     "BatchedExecutor",
     "VectorizedExecutor",
     "AutoExecutor",
+    "KernelSpec",
     "batchable",
+    "batch_implementation",
+    "batchable_series",
+    "is_batchable",
+    "get_kernel",
+    "kernel_names",
+    "list_kernels",
     "get_executor",
     "list_executors",
     "ResultCache",
@@ -81,5 +102,6 @@ __all__ = [
     "figure_to_rows",
     "save_figure_report",
     "figures",
+    "kernels",
     "tensor",
 ]

@@ -13,11 +13,11 @@ throughput decision.  ``serial`` is the reference, ``process`` forks across
 cores, ``batched`` vectorizes per (series, rate) cell, ``vectorized`` runs
 the tensorized trial backend (one stacked computation per series, spanning
 the whole rate grid — see :mod:`repro.experiments.tensor`), and ``auto``
-picks ``vectorized`` whenever the plan advertises batch-capable series via
-:attr:`~repro.experiments.spec.TrialSpec.supports_batch`.  The engine
-additionally streams per-(series, rate) progress events to an optional
-callback and memoizes completed figures on disk through
-:class:`~repro.experiments.cache.ResultCache`.
+picks ``vectorized`` whenever the application-kernel registry
+(:func:`~repro.experiments.kernels.batchable_series`) finds batch-capable
+series in the plan.  The engine additionally streams per-(series, rate)
+progress events to an optional callback and memoizes completed figures on
+disk through :class:`~repro.experiments.cache.ResultCache`.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ bit-identical results for the same plan:
 ``batched``
     Groups the trials of each (series, fault-rate) cell and hands whole
     batches to trial functions that declare a vectorized implementation via
-    :func:`batchable` (typically built on
+    :func:`~repro.experiments.kernels.batchable` (typically built on
     :func:`repro.faults.vectorized.corrupt_batch`); plain functions fall back
     to per-trial execution.
 ``vectorized``
@@ -25,8 +25,14 @@ bit-identical results for the same plan:
     without a batch implementation fall back to per-trial execution.
 ``auto``
     Picks the fast path per plan: ``vectorized`` when any series declares a
-    batch implementation (the :attr:`TrialSpec.supports_batch` capability
-    flag), the serial reference otherwise.
+    batch implementation, the serial reference otherwise.
+
+Batch capability is a property of the trial function alone, and the
+application-kernel registry (:mod:`repro.experiments.kernels`) is the single
+place it is declared (:func:`~repro.experiments.kernels.batchable`) and
+inspected (:func:`~repro.experiments.kernels.batch_implementation`,
+:func:`~repro.experiments.kernels.batchable_series`); executors route through
+those helpers.
 """
 
 from __future__ import annotations
@@ -36,6 +42,11 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.kernels import (
+    batch_implementation,
+    batchable,
+    batchable_series,
+)
 from repro.experiments.spec import SweepSpec, TrialSpec, run_trial
 
 __all__ = [
@@ -184,37 +195,13 @@ class ProcessExecutor(Executor):
 # --------------------------------------------------------------------------- #
 # Batched executor
 # --------------------------------------------------------------------------- #
-def batchable(run_batch: Callable) -> Callable:
-    """Attach a vectorized batch implementation to a trial function.
-
-    ``run_batch(procs, streams)`` receives one processor and one random
-    stream per trial — constructed exactly as the serial path constructs
-    them — and returns one metric value per trial.  The implementation must
-    corrupt each trial's data with that trial's own generator (see
-    :func:`repro.faults.vectorized.corrupt_batch` and
-    :class:`repro.processor.batch.ProcessorBatch`) so that the batched result
-    stays bit-identical to serial execution.
-
-    The ``batched`` executor calls ``run_batch`` once per (series,
-    fault-rate) cell, so every processor in a call shares one fault rate; the
-    ``vectorized`` executor calls it once per *series* with the whole
-    (fault-rate × trials) grid, so implementations must read each processor's
-    own ``fault_rate`` rather than assuming ``procs[0]`` speaks for the batch.
-    """
-
-    def attach(function: Callable) -> Callable:
-        function.run_batch = run_batch
-        return function
-
-    return attach
-
-
 class BatchedExecutor(Executor):
     """Vectorizing executor: one call per (series, fault-rate) trial batch.
 
-    Trial functions decorated with :func:`batchable` run their whole batch in
-    one vectorized call; undecorated functions run per-trial, identically to
-    the serial executor.
+    Trial functions decorated with
+    :func:`~repro.experiments.kernels.batchable` run their whole batch in one
+    vectorized call; undecorated functions run per-trial, identically to the
+    serial executor.
     """
 
     name = "batched"
@@ -231,7 +218,7 @@ class BatchedExecutor(Executor):
         values: List[Optional[float]] = [None] * len(specs)
         for cell in cells.values():
             function = sweep.trial_functions[cell[0][1].series_name]
-            run_batch = getattr(function, "run_batch", None)
+            run_batch = batch_implementation(function)
             if run_batch is None or len(cell) == 1:
                 for index, spec in cell:
                     values[index] = run_trial(sweep, spec)
@@ -260,9 +247,10 @@ class VectorizedExecutor(Executor):
     """The tensorized executor: one batch per series, spanning all rates.
 
     For a series whose trial function declares a batch implementation
-    (:attr:`TrialSpec.supports_batch`), the entire (fault-rate × trials)
-    grid becomes one :func:`repro.experiments.tensor.run_tensor_cell` call —
-    a single stacked numpy computation over a
+    (:func:`~repro.experiments.kernels.batch_implementation`), the entire
+    (fault-rate × trials) grid becomes one
+    :func:`repro.experiments.tensor.run_tensor_cell` call — a single stacked
+    numpy computation over a
     :class:`~repro.processor.batch.ProcessorBatch` whose rows carry their own
     fault rates.  Series without a batch implementation run per-trial,
     identically to the serial executor.
@@ -283,7 +271,8 @@ class VectorizedExecutor(Executor):
             series_groups.setdefault(spec.series_index, []).append((index, spec))
         values: List[Optional[float]] = [None] * len(specs)
         for group in series_groups.values():
-            if not group[0][1].supports_batch or len(group) == 1:
+            function = sweep.trial_functions[group[0][1].series_name]
+            if batch_implementation(function) is None or len(group) == 1:
                 for index, spec in group:
                     values[index] = run_trial(sweep, spec)
                     if emit is not None:
@@ -300,10 +289,11 @@ class VectorizedExecutor(Executor):
 class AutoExecutor(Executor):
     """Plan-adaptive executor: the engine's "pick the fast path for me" option.
 
-    Delegates to :class:`VectorizedExecutor` when any trial in the plan
-    carries the :attr:`TrialSpec.supports_batch` capability flag, and to the
-    :class:`SerialExecutor` reference otherwise.  Either way the results are
-    bit-identical; only throughput changes.
+    Delegates to :class:`VectorizedExecutor` when the registry capability
+    probe (:func:`~repro.experiments.kernels.batchable_series`) finds any
+    batch-capable series in the plan, and to the :class:`SerialExecutor`
+    reference otherwise.  Either way the results are bit-identical; only
+    throughput changes.
     """
 
     name = "auto"
@@ -314,7 +304,7 @@ class AutoExecutor(Executor):
         specs: Sequence[TrialSpec],
         emit: Optional[EmitFunction] = None,
     ) -> List[float]:
-        if any(spec.supports_batch for spec in specs):
+        if batchable_series(sweep):
             return VectorizedExecutor().run(sweep, specs, emit)
         return SerialExecutor().run(sweep, specs, emit)
 

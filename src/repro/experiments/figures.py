@@ -1,17 +1,22 @@
-"""Per-figure experiment definitions.
+"""Per-figure experiment definitions (thin specs over the kernel registry).
 
 Each function regenerates one table/figure of the paper's evaluation and
-returns a :class:`~repro.experiments.runner.FigureResult`.  The default
-``trials`` / ``iterations`` are laptop-scale so that the benchmark harness
-finishes in minutes; the paper-scale values (10,000 iterations for the
-combinatorial kernels, 1,000 for the numerical ones) are accepted via the
-same arguments.  ``docs/figures.md`` maps every figure to its generator,
-benchmark module, and expected output.
+returns a :class:`~repro.experiments.runner.FigureResult`.  The sweep-shaped
+figures are thin: the workload construction, series line-up, and batch
+capability live in the application-kernel registry
+(:mod:`repro.experiments.kernels`), so a figure generator only assembles the
+registry kernel's trial functions into a sweep and stamps the result with the
+kernel's presentation metadata.  The default ``trials`` / ``iterations`` are
+laptop-scale so that the benchmark harness finishes in minutes; the
+paper-scale values (10,000 iterations for the combinatorial kernels, 1,000
+for the numerical ones) are accepted via the same arguments.
+``docs/figures.md`` maps every figure to its kernel, benchmark module, and
+expected output.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,22 +26,21 @@ from repro.applications.least_squares import (
     default_least_squares_step,
     robust_least_squares_cg,
     robust_least_squares_sgd,
-    robust_least_squares_sgd_batch,
 )
 from repro.applications.matching import (
     baseline_matching,
     default_matching_config,
     robust_matching,
 )
-from repro.applications.sorting import (
-    baseline_sort,
-    default_sorting_config,
-    robust_sort,
-    robust_sort_batch,
-)
+from repro.applications.sorting import baseline_sort, default_sorting_config, robust_sort
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.executors import batchable
+from repro.experiments.kernels import (
+    WORKLOAD_SEED as _WORKLOAD_SEED,
+    get_kernel,
+    matching_workload as _matching_workload,
+    sorting_trial_functions,
+)
 from repro.experiments.runner import (
     DEFAULT_FAULT_RATES,
     FigureResult,
@@ -52,11 +56,7 @@ from repro.optimizers.conjugate_gradient import CGOptions
 from repro.processor.energy import EnergyModel
 from repro.processor.stochastic import StochasticProcessor
 from repro.processor.voltage import VoltageErrorModel
-from repro.workloads.generators import (
-    random_array,
-    random_bipartite_graph,
-    random_least_squares,
-)
+from repro.workloads.generators import random_array, random_least_squares
 from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
 __all__ = [
@@ -75,9 +75,6 @@ __all__ = [
     "overhead_table",
 ]
 
-#: Workload seeds shared by every figure so results are reproducible.
-_WORKLOAD_SEED = 2010
-
 
 # --------------------------------------------------------------------------- #
 # Chapter 5 (methodology) figures
@@ -86,97 +83,56 @@ def figure_5_1(width: int = 32) -> FigureResult:
     """Figure 5.1: measured vs emulated distribution of FP bit-fault positions."""
     measured = MeasuredBitDistribution(width=width)
     emulated = EmulatedBitDistribution(width=width)
-    figure = FigureResult(
-        figure_id="Figure 5.1",
-        title="Distribution of fault bit positions (measured vs emulated)",
-        x_label="bit position",
-        y_label="probability mass",
+    kernel = get_kernel("fault_distribution")
+    positions = list(range(width))
+    series = []
+    for name, dist in (("Measured", measured), ("Emulated", emulated)):
+        entry = SeriesResult(name=name)
+        for position, mass in zip(positions, dist.pmf()):
+            entry.fault_rates.append(float(position))
+            entry.values.append([float(mass)])
+        series.append(entry)
+    return kernel.make_figure(
+        series,
         notes=(
             "total variation distance = "
             f"{total_variation_distance(measured, emulated):.3f}"
         ),
     )
-    positions = list(range(width))
-    for name, dist in (("Measured", measured), ("Emulated", emulated)):
-        series = SeriesResult(name=name)
-        for position, mass in zip(positions, dist.pmf()):
-            series.fault_rates.append(float(position))
-            series.values.append([float(mass)])
-        figure.series.append(series)
-    return figure
 
 
 def figure_5_2(n_points: int = 10) -> FigureResult:
     """Figure 5.2: FPU error rate as the supply voltage is scaled."""
     model = VoltageErrorModel()
     voltages, rates = model.curve(n_points=n_points)
-    figure = FigureResult(
-        figure_id="Figure 5.2",
-        title="Error rate of an FPU as the voltage is scaled",
-        x_label="supply voltage (V)",
-        y_label="errors per FLOP",
-    )
     series = SeriesResult(name="FPU error rate")
     for voltage, rate in zip(voltages, rates):
         series.fault_rates.append(float(voltage))
         series.values.append([float(rate)])
-    figure.series.append(series)
-    return figure
+    return get_kernel("voltage_curve").make_figure([series])
 
 
 # --------------------------------------------------------------------------- #
-# Figure 6.1 — sorting
+# Chapter 6 sweep figures — thin specs over the kernel registry
 # --------------------------------------------------------------------------- #
-def sorting_trial_functions(
-    values: np.ndarray,
-    iterations: int,
-    series: Optional[Mapping[str, Optional[str]]] = None,
+def _run_kernel_sweep(
+    kernel_name: str,
+    fault_rates: Sequence[float],
+    trials: int,
+    seed: int,
+    engine: Optional[Union[str, ExperimentEngine]],
+    **factory_kwargs,
 ):
-    """The Figure 6.1 trial functions: series label -> batch-capable trial.
-
-    ``series`` maps each series label to a robust solver variant, or to
-    ``None`` for the noisy-comparison-sort baseline; the default is the
-    figure's "Base" / "SGD" / "SGD+AS,LS" / "SGD+AS,SQS" line-up.  Robust
-    series carry a :func:`~repro.experiments.executors.batchable`
-    implementation backed by
-    :func:`~repro.applications.sorting.robust_sort_batch`, so the ``batched``
-    and ``vectorized`` executors advance whole trial batches as one tensor
-    computation (bit-identical to serial execution).  The benchmark harness
-    (``benchmarks/bench_tensor_backend.py``) reuses this factory at reduced
-    scale.
-    """
-    if series is None:
-        series = {
-            "Base": None,
-            "SGD": "SGD,LS",
-            "SGD+AS,LS": "SGD+AS,LS",
-            "SGD+AS,SQS": "SGD+AS,SQS",
-        }
-    values = np.asarray(values, dtype=np.float64)
-
-    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return 1.0 if baseline_sort(values, proc).success else 0.0
-
-    def _robust(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            config = default_sorting_config(
-                iterations=iterations, variant=variant, values=values
-            )
-            return 1.0 if robust_sort(values, proc, config).success else 0.0
-
-        def run_batch(procs, streams):
-            config = default_sorting_config(
-                iterations=iterations, variant=variant, values=values
-            )
-            results = robust_sort_batch(values, procs, config)
-            return [1.0 if result.success else 0.0 for result in results]
-
-        return batchable(run_batch)(run)
-
-    return {
-        label: _base if variant is None else _robust(variant)
-        for label, variant in series.items()
-    }
+    """Run one registry kernel's trial functions over a fault-rate sweep."""
+    kernel = get_kernel(kernel_name)
+    series = run_fault_rate_sweep(
+        kernel.trial_factory(seed=seed, **factory_kwargs),
+        fault_rates=fault_rates,
+        trials=trials,
+        seed=seed,
+        engine=engine,
+    )
+    return kernel, series
 
 
 def figure_6_1(
@@ -194,26 +150,13 @@ def figure_6_1(
     batch-capable, so a ``vectorized`` (or ``auto``) engine runs each one as
     a single tensorized computation over the whole (rate × trials) grid.
     """
-    values = random_array(array_size, rng=seed, min_gap=0.08)
-    series = run_fault_rate_sweep(
-        sorting_trial_functions(values, iterations),
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
+    kernel, series = _run_kernel_sweep(
+        "sorting", fault_rates, trials, seed, engine,
+        iterations=iterations, array_size=array_size,
     )
-    return FigureResult(
-        figure_id="Figure 6.1",
-        title=f"Accuracy of Sort - {iterations} iterations",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="success rate",
-        series=series,
-    )
+    return kernel.make_figure(series, iterations=iterations)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 6.2 — least squares with SGD
-# --------------------------------------------------------------------------- #
 def figure_6_2(
     trials: int = 5,
     iterations: int = 1000,
@@ -227,47 +170,13 @@ def figure_6_2(
     Paper configuration: A is 100×10, 1,000 iterations, series "Base: SVD",
     "SGD,LS", "SGD+AS,LS"; lower is better.
     """
-    A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
-    base_step = default_least_squares_step(A)
-
-    def _sgd(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            options = sgd_options_for_variant(
-                variant, iterations=iterations, base_step=base_step
-            )
-            return robust_least_squares_sgd(A, b, proc, options=options).relative_error
-
-        def run_batch(procs, streams):
-            options = sgd_options_for_variant(
-                variant, iterations=iterations, base_step=base_step
-            )
-            results = robust_least_squares_sgd_batch(A, b, procs, options=options)
-            return [result.relative_error for result in results]
-
-        return batchable(run_batch)(run)
-
-    def _svd(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return baseline_least_squares(A, b, proc, method="svd").relative_error
-
-    series = run_fault_rate_sweep(
-        {"Base: SVD": _svd, "SGD,LS": _sgd("SGD,LS"), "SGD+AS,LS": _sgd("SGD+AS,LS")},
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
+    kernel, series = _run_kernel_sweep(
+        "least_squares_sgd", fault_rates, trials, seed, engine,
+        iterations=iterations, shape=shape,
     )
-    return FigureResult(
-        figure_id="Figure 6.2",
-        title=f"Accuracy of Least Squares - {iterations} iterations",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="relative error w.r.t. ideal (lower is better)",
-        series=series,
-    )
+    return kernel.make_figure(series, iterations=iterations)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 6.3 — IIR filtering
-# --------------------------------------------------------------------------- #
 def figure_6_3(
     trials: int = 5,
     iterations: int = 1000,
@@ -281,62 +190,15 @@ def figure_6_3(
 
     Paper configuration: 10-tap filter, 500 input samples, 1,000 iterations,
     series "Base", "SGD,LS", "SGD+AS,LS", "SGD+AS,SQS"; lower is better.
+    The robust series are batch-capable (batched SGD on the preconditioned
+    variational form), so ``vectorized``/``auto`` engines run them as
+    tensorized computations.
     """
-    filt = random_stable_iir(n_taps, rng=seed, pole_radius=0.8)
-    signal = sum_of_sinusoids(signal_length)
-
-    def _robust(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            options = sgd_options_for_variant(
-                variant, iterations=iterations, base_step=0.25
-            )
-            return robust_iir_filter(filt, signal, proc, options=options).error_to_signal
-
-        return run
-
-    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return baseline_iir_filter(filt, signal, proc).error_to_signal
-
-    series = run_fault_rate_sweep(
-        {
-            "Base": _base,
-            "SGD,LS": _robust("SGD,LS"),
-            "SGD+AS,LS": _robust("SGD+AS,LS"),
-            "SGD+AS,SQS": _robust("SGD+AS,SQS"),
-        },
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
+    kernel, series = _run_kernel_sweep(
+        "iir", fault_rates, trials, seed, engine,
+        iterations=iterations, signal_length=signal_length, n_taps=n_taps,
     )
-    return FigureResult(
-        figure_id="Figure 6.3",
-        title=f"Accuracy of IIR - {iterations} iterations",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="error energy / signal energy (lower is better)",
-        series=series,
-    )
-
-
-# --------------------------------------------------------------------------- #
-# Figures 6.4 / 6.5 — bipartite matching
-# --------------------------------------------------------------------------- #
-def _matching_workload(seed: int, min_margin: float = 0.02):
-    """The 11-node / 30-edge matching workload of Figures 6.4 and 6.5.
-
-    Random bipartite instances can have a near-degenerate optimum (two
-    matchings within a fraction of a percent of each other), which makes the
-    exact-success metric meaningless; we therefore advance the seed until the
-    instance's optimal matching has a relative margin of at least
-    ``min_margin`` over the best matching that avoids one of its edges.
-    """
-    from repro.applications.matching import matching_margin
-
-    for offset in range(64):
-        graph = random_bipartite_graph(5, 6, 30, rng=seed + offset)
-        if matching_margin(graph) >= min_margin:
-            return graph
-    return random_bipartite_graph(5, 6, 30, rng=seed)
+    return kernel.make_figure(series, iterations=iterations)
 
 
 def figure_6_4(
@@ -351,39 +213,10 @@ def figure_6_4(
     Paper configuration: 11 nodes / 30 edges, 10,000 iterations, series
     "Base", "SGD,LS", "SGD+AS,LS", "SGD+AS,SQS".
     """
-    graph = _matching_workload(seed)
-
-    def _robust(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            config = default_matching_config(
-                iterations=iterations, variant=variant, graph=graph
-            )
-            return 1.0 if robust_matching(graph, proc, config).success else 0.0
-
-        return run
-
-    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return 1.0 if baseline_matching(graph, proc).success else 0.0
-
-    series = run_fault_rate_sweep(
-        {
-            "Base": _base,
-            "SGD,LS": _robust("SGD,LS"),
-            "SGD+AS,LS": _robust("SGD+AS,LS"),
-            "SGD+AS,SQS": _robust("SGD+AS,SQS"),
-        },
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
+    kernel, series = _run_kernel_sweep(
+        "matching", fault_rates, trials, seed, engine, iterations=iterations,
     )
-    return FigureResult(
-        figure_id="Figure 6.4",
-        title=f"Accuracy of Matching - {iterations} iterations",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="success rate",
-        series=series,
-    )
+    return kernel.make_figure(series, iterations=iterations)
 
 
 def figure_6_5(
@@ -398,46 +231,21 @@ def figure_6_5(
     Paper series: "Non-robust", "Basic,LS", "SQS", "PRECOND", "ANNEAL",
     "ALL"; fault rates up to 50 % of FLOPs.
     """
-    graph = _matching_workload(seed)
-
-    def _robust(variant: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            config = default_matching_config(
-                iterations=iterations, variant=variant, graph=graph
-            )
-            return 1.0 if robust_matching(graph, proc, config).success else 0.0
-
-        return run
-
-    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        return 1.0 if baseline_matching(graph, proc).success else 0.0
-
-    series = run_fault_rate_sweep(
-        {
-            "Non-robust": _base,
-            "Basic,LS": _robust("Basic,LS"),
-            "SQS": _robust("SQS"),
-            "PRECOND": _robust("PRECOND"),
-            "ANNEAL": _robust("ANNEAL"),
-            "ALL": _robust("ALL"),
+    kernel, series = _run_kernel_sweep(
+        "matching_enhancements", fault_rates, trials, seed, engine,
+        iterations=iterations,
+        series={
+            "Non-robust": None,
+            "Basic,LS": "Basic,LS",
+            "SQS": "SQS",
+            "PRECOND": "PRECOND",
+            "ANNEAL": "ANNEAL",
+            "ALL": "ALL",
         },
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
     )
-    return FigureResult(
-        figure_id="Figure 6.5",
-        title="Effect of enhancements on matching success",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="success rate",
-        series=series,
-    )
+    return kernel.make_figure(series)
 
 
-# --------------------------------------------------------------------------- #
-# Figure 6.6 — CG-based least squares vs decomposition baselines
-# --------------------------------------------------------------------------- #
 def figure_6_6(
     trials: int = 5,
     cg_iterations: int = 10,
@@ -446,38 +254,35 @@ def figure_6_6(
     seed: int = _WORKLOAD_SEED,
     engine: Optional[Union[str, ExperimentEngine]] = None,
 ) -> FigureResult:
-    """Figure 6.6: CG-based least squares accuracy vs the QR/SVD/Cholesky baselines."""
-    A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
+    """Figure 6.6: CG-based least squares accuracy vs the QR/SVD/Cholesky baselines.
 
-    def _baseline(method: str):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            return baseline_least_squares(A, b, proc, method=method).relative_error
-
-        return run
-
-    def _cg(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-        options = CGOptions(iterations=cg_iterations)
-        return robust_least_squares_cg(A, b, proc, options=options).relative_error
-
-    series = run_fault_rate_sweep(
-        {
-            "Base: QR": _baseline("qr"),
-            "Base: SVD": _baseline("svd"),
-            "Base: Cholesky": _baseline("cholesky"),
-            f"CG, N={cg_iterations}": _cg,
-        },
-        fault_rates=fault_rates,
-        trials=trials,
-        seed=seed,
-        engine=engine,
+    The CG series is batch-capable (masked-batch CGNR driver), so
+    ``vectorized``/``auto`` engines run its whole (rate × trials) grid as one
+    stacked computation.
+    """
+    kernel, series = _run_kernel_sweep(
+        "cg_least_squares", fault_rates, trials, seed, engine,
+        cg_iterations=cg_iterations, shape=shape,
     )
-    return FigureResult(
-        figure_id="Figure 6.6",
-        title="Accuracy of Least Squares (CG vs decomposition baselines)",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="relative error w.r.t. ideal (lower is better)",
-        series=series,
+    return kernel.make_figure(series)
+
+
+def momentum_study(
+    trials: int = 5,
+    iterations: int = 5000,
+    fault_rate: float = 0.1,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """§6.2.2: effect of momentum (β = 0.5) on sorting and matching success.
+
+    All four series are batch-capable, so ``vectorized``/``auto`` engines run
+    the study tensorized.
+    """
+    kernel, series = _run_kernel_sweep(
+        "momentum", (fault_rate,), trials, seed, engine, iterations=iterations,
     )
+    return kernel.make_figure(series)
 
 
 # --------------------------------------------------------------------------- #
@@ -543,13 +348,6 @@ def figure_6_7(
                 best = min(best, energy_model.energy(flops, voltage))
         return best
 
-    figure = FigureResult(
-        figure_id="Figure 6.7",
-        title="Least Squares Energy vs accuracy target",
-        x_label="accuracy target (relative error)",
-        y_label="energy (power x #FLOPs, nominal-FLOP units)",
-        notes="inf means the configuration could not reach the accuracy target",
-    )
     cholesky_series = SeriesResult(name="Base: Cholesky")
     cg_series = SeriesResult(name="CG")
     for target in accuracy_targets:
@@ -557,65 +355,15 @@ def figure_6_7(
         cholesky_series.values.append([_best_energy_cholesky(target)])
         cg_series.fault_rates.append(float(target))
         cg_series.values.append([_best_energy_cg(target)])
-    figure.series.extend([cholesky_series, cg_series])
-    return figure
-
-
-# --------------------------------------------------------------------------- #
-# Text results: §6.2.2 momentum, §6.3 FLOP costs, §7 overhead
-# --------------------------------------------------------------------------- #
-def momentum_study(
-    trials: int = 5,
-    iterations: int = 5000,
-    fault_rate: float = 0.1,
-    seed: int = _WORKLOAD_SEED,
-    engine: Optional[Union[str, ExperimentEngine]] = None,
-) -> FigureResult:
-    """§6.2.2: effect of momentum (β = 0.5) on sorting and matching success."""
-    values = random_array(5, rng=seed, min_gap=0.08)
-    graph = _matching_workload(seed)
-
-    def _sort(momentum: bool):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            variant = "MOMENTUM" if momentum else "SGD,LS"
-            config = default_sorting_config(
-                iterations=iterations, variant=variant, values=values
-            )
-            return 1.0 if robust_sort(values, proc, config).success else 0.0
-
-        return run
-
-    def _match(momentum: bool):
-        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
-            variant = "MOMENTUM" if momentum else "SGD,LS"
-            config = default_matching_config(
-                iterations=iterations, variant=variant, graph=graph
-            )
-            return 1.0 if robust_matching(graph, proc, config).success else 0.0
-
-        return run
-
-    series = run_fault_rate_sweep(
-        {
-            "sorting (no momentum)": _sort(False),
-            "sorting (momentum 0.5)": _sort(True),
-            "matching (no momentum)": _match(False),
-            "matching (momentum 0.5)": _match(True),
-        },
-        fault_rates=(fault_rate,),
-        trials=trials,
-        seed=seed,
-        engine=engine,
-    )
-    return FigureResult(
-        figure_id="Section 6.2.2",
-        title="Effect of momentum on solver success rate",
-        x_label="fault rate (fraction of FLOPs)",
-        y_label="success rate",
-        series=series,
+    return get_kernel("energy").make_figure(
+        [cholesky_series, cg_series],
+        notes="inf means the configuration could not reach the accuracy target",
     )
 
 
+# --------------------------------------------------------------------------- #
+# Text results: §6.3 FLOP costs, §7 overhead
+# --------------------------------------------------------------------------- #
 def flop_cost_comparison(shape: tuple = (100, 10), seed: int = _WORKLOAD_SEED) -> FigureResult:
     """§6.3: FLOP cost of CG (10 iterations) vs the decomposition baselines.
 
@@ -624,12 +372,6 @@ def flop_cost_comparison(shape: tuple = (100, 10), seed: int = _WORKLOAD_SEED) -
     corresponding platform-independent quantity.
     """
     A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
-    figure = FigureResult(
-        figure_id="Section 6.3",
-        title="FLOP cost of least-squares implementations (fault-free)",
-        x_label="(single workload)",
-        y_label="FLOPs",
-    )
     runs = {
         "Base: SVD": lambda proc: baseline_least_squares(A, b, proc, method="svd"),
         "Base: QR": lambda proc: baseline_least_squares(A, b, proc, method="qr"),
@@ -637,14 +379,15 @@ def flop_cost_comparison(shape: tuple = (100, 10), seed: int = _WORKLOAD_SEED) -
         "CG, N=10": lambda proc: robust_least_squares_cg(A, b, proc),
         "SGD, 1000 iters": lambda proc: robust_least_squares_sgd(A, b, proc),
     }
+    all_series = []
     for name, factory in runs.items():
         proc = StochasticProcessor(fault_rate=0.0, rng=seed)
         result = factory(proc)
         series = SeriesResult(name=name)
         series.fault_rates.append(0.0)
         series.values.append([float(result.flops)])
-        figure.series.append(series)
-    return figure
+        all_series.append(series)
+    return get_kernel("flop_costs").make_figure(all_series)
 
 
 def overhead_table(
@@ -657,12 +400,6 @@ def overhead_table(
     The paper observes 10–1000× more floating-point operations for the
     stochastic implementations.
     """
-    figure = FigureResult(
-        figure_id="Section 7",
-        title="FLOP overhead of robust implementations (robust / baseline)",
-        x_label="(single workload)",
-        y_label="overhead factor",
-    )
     values = random_array(5, rng=seed)
     A, b, _ = random_least_squares(100, 10, rng=seed)
     filt = random_stable_iir(10, rng=seed, pole_radius=0.8)
@@ -705,9 +442,10 @@ def overhead_table(
     match_base = baseline_matching(graph, proc).flops
     entries["matching"] = _ratio(match_robust, match_base)
 
+    all_series = []
     for name, ratio in entries.items():
         series = SeriesResult(name=name)
         series.fault_rates.append(0.0)
         series.values.append([float(ratio)])
-        figure.series.append(series)
-    return figure
+        all_series.append(series)
+    return get_kernel("overhead").make_figure(all_series)

@@ -1,0 +1,809 @@
+"""The application-kernel registry: one declarative layer for the whole suite.
+
+Every workload of the paper's evaluation is sweep-shaped — a grid of
+(fault rate × trial) cells per named series — and every executor question
+("can this series run on the tensorized backend?", "which figure does this
+kernel reproduce?", "what are its reduced-scale parameters?") used to be
+answered by hand-maintained tables scattered across the figure generators,
+the benchmark modules, and ``examples/reproduce_figures.py``.  This module
+collapses that coupling into one registry:
+
+* **Capability dispatch.**  :func:`batchable` attaches a vectorized batch
+  implementation to a trial function; :func:`batch_implementation` /
+  :func:`is_batchable` / :func:`batchable_series` are the *only* places that
+  capability is inspected.  Executors route through these helpers instead of
+  threading a flag through every plan object.
+* **Trial-function factories.**  Each paper workload (sorting §4.3, least
+  squares §4.1, IIR §4.2, matching §4.4, CG least squares §3.3, the §6.2.2
+  momentum study) builds its series label → trial-function mapping here,
+  with the batch tier wired in where the application exposes one.
+* **Kernel specs.**  :class:`KernelSpec` records, under a stable name, each
+  kernel's figure generator, metric, benchmark module, default sweep
+  parameters, and reduced-scale behaviour.  ``examples/reproduce_figures.py``,
+  ``benchmarks/conftest.py``, ``scripts/bench_all.py``, and the figure cache
+  key derivation all consume this registry instead of parallel tables.
+
+The registry is populated at import time; :func:`get_kernel` /
+:func:`list_kernels` are the lookup API.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.applications.iir import (
+    baseline_iir_filter,
+    robust_iir_filter,
+    robust_iir_filter_batch,
+)
+from repro.applications.least_squares import (
+    baseline_least_squares,
+    default_least_squares_step,
+    robust_least_squares_cg,
+    robust_least_squares_cg_batch,
+    robust_least_squares_sgd,
+    robust_least_squares_sgd_batch,
+)
+from repro.applications.matching import (
+    baseline_matching,
+    default_matching_config,
+    matching_margin,
+    robust_matching,
+    robust_matching_batch,
+)
+from repro.applications.sorting import (
+    baseline_sort,
+    default_sorting_config,
+    robust_sort,
+    robust_sort_batch,
+)
+from repro.core.variants import sgd_options_for_variant
+from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.spec import SweepSpec, TrialFunction
+from repro.optimizers.conjugate_gradient import CGOptions
+from repro.processor.stochastic import StochasticProcessor
+from repro.workloads.generators import (
+    random_array,
+    random_bipartite_graph,
+    random_least_squares,
+)
+from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
+
+__all__ = [
+    "WORKLOAD_SEED",
+    "batchable",
+    "batch_implementation",
+    "is_batchable",
+    "batchable_series",
+    "KernelSpec",
+    "register_kernel",
+    "get_kernel",
+    "kernel_names",
+    "list_kernels",
+    "sweep_kernels",
+    "batched_kernels",
+    "matching_workload",
+    "sorting_trial_functions",
+    "least_squares_trial_functions",
+    "iir_trial_functions",
+    "matching_trial_functions",
+    "cg_least_squares_trial_functions",
+    "momentum_trial_functions",
+]
+
+#: Workload seed shared by every figure so results are reproducible.
+WORKLOAD_SEED = 2010
+
+
+# --------------------------------------------------------------------------- #
+# Capability dispatch
+# --------------------------------------------------------------------------- #
+def batchable(run_batch: Callable) -> Callable:
+    """Attach a vectorized batch implementation to a trial function.
+
+    ``run_batch(procs, streams)`` receives one processor and one random
+    stream per trial — constructed exactly as the serial path constructs
+    them — and returns one metric value per trial.  The implementation must
+    corrupt each trial's data with that trial's own generator (see
+    :func:`repro.faults.vectorized.corrupt_batch` and
+    :class:`repro.processor.batch.ProcessorBatch`) so that the batched result
+    stays bit-identical to serial execution.
+
+    The ``batched`` executor calls ``run_batch`` once per (series,
+    fault-rate) cell, so every processor in a call shares one fault rate; the
+    ``vectorized`` executor calls it once per *series* with the whole
+    (fault-rate × trials) grid, so implementations must read each processor's
+    own ``fault_rate`` rather than assuming ``procs[0]`` speaks for the batch.
+    """
+
+    def attach(function: Callable) -> Callable:
+        function.run_batch = run_batch
+        return function
+
+    return attach
+
+
+def batch_implementation(function: Callable) -> Optional[Callable]:
+    """The trial function's vectorized batch implementation, or ``None``.
+
+    This is the single capability probe of the executor stack: trial
+    functions opt in through :func:`batchable`, and every executor routes by
+    asking this function rather than carrying its own flag.
+    """
+    run_batch = getattr(function, "run_batch", None)
+    return run_batch if callable(run_batch) else None
+
+
+def is_batchable(function: Callable) -> bool:
+    """Whether a trial function declares a vectorized batch implementation."""
+    return batch_implementation(function) is not None
+
+
+def batchable_series(sweep: SweepSpec) -> List[str]:
+    """Names of the sweep's series that the tensorized backend can batch."""
+    return [
+        name
+        for name, function in sweep.trial_functions.items()
+        if is_batchable(function)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Workload factories
+# --------------------------------------------------------------------------- #
+def matching_workload(seed: int, min_margin: float = 0.02):
+    """The 11-node / 30-edge matching workload of Figures 6.4 and 6.5.
+
+    Random bipartite instances can have a near-degenerate optimum (two
+    matchings within a fraction of a percent of each other), which makes the
+    exact-success metric meaningless; we therefore advance the seed until the
+    instance's optimal matching has a relative margin of at least
+    ``min_margin`` over the best matching that avoids one of its edges.
+    """
+    for offset in range(64):
+        graph = random_bipartite_graph(5, 6, 30, rng=seed + offset)
+        if matching_margin(graph) >= min_margin:
+            return graph
+    return random_bipartite_graph(5, 6, 30, rng=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Trial-function factories (series label -> batch-capable trial function)
+# --------------------------------------------------------------------------- #
+def sorting_trial_functions(
+    values: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The Figure 6.1 trial functions: series label -> batch-capable trial.
+
+    ``series`` maps each series label to a robust solver variant, or to
+    ``None`` for the noisy-comparison-sort baseline; the default is the
+    figure's "Base" / "SGD" / "SGD+AS,LS" / "SGD+AS,SQS" line-up.  Robust
+    series carry a :func:`batchable` implementation backed by
+    :func:`~repro.applications.sorting.robust_sort_batch`, so the ``batched``
+    and ``vectorized`` executors advance whole trial batches as one tensor
+    computation (bit-identical to serial execution).
+    """
+    if series is None:
+        series = {
+            "Base": None,
+            "SGD": "SGD,LS",
+            "SGD+AS,LS": "SGD+AS,LS",
+            "SGD+AS,SQS": "SGD+AS,SQS",
+        }
+    values = np.asarray(values, dtype=np.float64)
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return 1.0 if baseline_sort(values, proc).success else 0.0
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            config = default_sorting_config(
+                iterations=iterations, variant=variant, values=values
+            )
+            return 1.0 if robust_sort(values, proc, config).success else 0.0
+
+        def run_batch(procs, streams):
+            config = default_sorting_config(
+                iterations=iterations, variant=variant, values=values
+            )
+            results = robust_sort_batch(values, procs, config)
+            return [1.0 if result.success else 0.0 for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
+def least_squares_trial_functions(
+    A: np.ndarray,
+    b: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The Figure 6.2 trial functions: SGD variants vs the SVD baseline.
+
+    Robust series batch through
+    :func:`~repro.applications.least_squares.robust_least_squares_sgd_batch`.
+    """
+    if series is None:
+        series = {"Base: SVD": None, "SGD,LS": "SGD,LS", "SGD+AS,LS": "SGD+AS,LS"}
+    base_step = default_least_squares_step(A)
+
+    def _svd(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return baseline_least_squares(A, b, proc, method="svd").relative_error
+
+    def _sgd(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=base_step
+            )
+            return robust_least_squares_sgd(A, b, proc, options=options).relative_error
+
+        def run_batch(procs, streams):
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=base_step
+            )
+            results = robust_least_squares_sgd_batch(A, b, procs, options=options)
+            return [result.relative_error for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _svd if variant is None else _sgd(variant)
+        for label, variant in series.items()
+    }
+
+
+def iir_trial_functions(
+    filt,
+    signal: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The Figure 6.3 trial functions: variational IIR vs the direct form.
+
+    Robust series batch through
+    :func:`~repro.applications.iir.robust_iir_filter_batch` (batched SGD over
+    the preconditioned banded least-squares form; the per-trial noisy
+    feed-forward initialization runs serially inside the batch entry point).
+    """
+    if series is None:
+        series = {
+            "Base": None,
+            "SGD,LS": "SGD,LS",
+            "SGD+AS,LS": "SGD+AS,LS",
+            "SGD+AS,SQS": "SGD+AS,SQS",
+        }
+    signal = np.asarray(signal, dtype=np.float64).ravel()
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return baseline_iir_filter(filt, signal, proc).error_to_signal
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=0.25
+            )
+            return robust_iir_filter(filt, signal, proc, options=options).error_to_signal
+
+        def run_batch(procs, streams):
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=0.25
+            )
+            results = robust_iir_filter_batch(filt, signal, procs, options=options)
+            return [result.error_to_signal for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
+def matching_trial_functions(
+    graph,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The Figure 6.4/6.5 trial functions: penalized-LP matching vs Hungarian.
+
+    ``series`` maps labels to solver variants (``None`` = the noisy Hungarian
+    baseline); the default is the Figure 6.4 line-up, and Figure 6.5 passes
+    its enhancement-ablation mapping.  Robust series batch through
+    :func:`~repro.applications.matching.robust_matching_batch`.
+    """
+    if series is None:
+        series = {
+            "Base": None,
+            "SGD,LS": "SGD,LS",
+            "SGD+AS,LS": "SGD+AS,LS",
+            "SGD+AS,SQS": "SGD+AS,SQS",
+        }
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return 1.0 if baseline_matching(graph, proc).success else 0.0
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            config = default_matching_config(
+                iterations=iterations, variant=variant, graph=graph
+            )
+            return 1.0 if robust_matching(graph, proc, config).success else 0.0
+
+        def run_batch(procs, streams):
+            config = default_matching_config(
+                iterations=iterations, variant=variant, graph=graph
+            )
+            results = robust_matching_batch(graph, procs, config)
+            return [1.0 if result.success else 0.0 for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
+def cg_least_squares_trial_functions(
+    A: np.ndarray,
+    b: np.ndarray,
+    cg_iterations: int = 10,
+) -> Dict[str, TrialFunction]:
+    """The Figure 6.6 trial functions: restarted CG vs the decompositions.
+
+    The CG series batches through
+    :func:`~repro.applications.least_squares.robust_least_squares_cg_batch`
+    (the masked-batch CGNR driver); the QR/SVD/Cholesky baselines run per
+    trial.
+    """
+
+    def _baseline(method: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            return baseline_least_squares(A, b, proc, method=method).relative_error
+
+        return run
+
+    def _cg(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        options = CGOptions(iterations=cg_iterations)
+        return robust_least_squares_cg(A, b, proc, options=options).relative_error
+
+    def _cg_batch(procs, streams):
+        options = CGOptions(iterations=cg_iterations)
+        results = robust_least_squares_cg_batch(A, b, procs, options=options)
+        return [result.relative_error for result in results]
+
+    return {
+        "Base: QR": _baseline("qr"),
+        "Base: SVD": _baseline("svd"),
+        "Base: Cholesky": _baseline("cholesky"),
+        f"CG, N={cg_iterations}": batchable(_cg_batch)(_cg),
+    }
+
+
+def momentum_trial_functions(
+    values: np.ndarray, graph, iterations: int
+) -> Dict[str, TrialFunction]:
+    """The §6.2.2 momentum-study trial functions (sorting and matching).
+
+    A relabelled composition of :func:`sorting_trial_functions` and
+    :func:`matching_trial_functions`, so all four series inherit their batch
+    tier (:func:`~repro.applications.sorting.robust_sort_batch` /
+    :func:`~repro.applications.matching.robust_matching_batch`).
+    """
+    return {
+        **sorting_trial_functions(values, iterations, {
+            "sorting (no momentum)": "SGD,LS",
+            "sorting (momentum 0.5)": "MOMENTUM",
+        }),
+        **matching_trial_functions(graph, iterations, {
+            "matching (no momentum)": "SGD,LS",
+            "matching (momentum 0.5)": "MOMENTUM",
+        }),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Workload-level kernel factories (workload construction + trial functions)
+# --------------------------------------------------------------------------- #
+def sorting_kernel(
+    iterations: int = 10000,
+    array_size: int = 5,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the Figure 6.1 sorting workload and its trial functions."""
+    values = random_array(array_size, rng=seed, min_gap=0.08)
+    return sorting_trial_functions(values, iterations, series)
+
+
+def least_squares_kernel(
+    iterations: int = 1000,
+    shape: tuple = (100, 10),
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the Figure 6.2 least-squares workload and its trial functions."""
+    A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
+    return least_squares_trial_functions(A, b, iterations, series)
+
+
+def iir_kernel(
+    iterations: int = 1000,
+    signal_length: int = 500,
+    n_taps: int = 10,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the Figure 6.3 IIR workload and its trial functions."""
+    filt = random_stable_iir(n_taps, rng=seed, pole_radius=0.8)
+    signal = sum_of_sinusoids(signal_length)
+    return iir_trial_functions(filt, signal, iterations, series)
+
+
+def matching_kernel(
+    iterations: int = 10000,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the Figure 6.4/6.5 matching workload and its trial functions."""
+    graph = matching_workload(seed)
+    return matching_trial_functions(graph, iterations, series)
+
+
+def cg_least_squares_kernel(
+    cg_iterations: int = 10,
+    shape: tuple = (100, 10),
+    seed: int = WORKLOAD_SEED,
+) -> Dict[str, TrialFunction]:
+    """Build the Figure 6.6 CG least-squares workload and its trial functions."""
+    A, b, _ = random_least_squares(shape[0], shape[1], rng=seed)
+    return cg_least_squares_trial_functions(A, b, cg_iterations)
+
+
+def momentum_kernel(
+    iterations: int = 5000, seed: int = WORKLOAD_SEED
+) -> Dict[str, TrialFunction]:
+    """Build the §6.2.2 momentum-study workloads and trial functions."""
+    values = random_array(5, rng=seed, min_gap=0.08)
+    graph = matching_workload(seed)
+    return momentum_trial_functions(values, graph, iterations)
+
+
+# --------------------------------------------------------------------------- #
+# Kernel specs and the registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one registered application kernel.
+
+    Attributes
+    ----------
+    name:
+        Stable registry name (``"sorting"``, ``"cg_least_squares"``, ...).
+    figure:
+        Name of the figure generator in :mod:`repro.experiments.figures`
+        (resolved lazily so the registry can be imported below the figure
+        layer).
+    figure_id / title:
+        Presentation metadata of the generated :class:`FigureResult`.
+    x_label / y_label:
+        Axis labels; ``title`` may contain ``str.format`` placeholders
+        (e.g. ``{iterations}``) filled by :meth:`make_figure`.
+    benchmark:
+        Repository-relative path of the benchmark module regenerating this
+        kernel at reduced scale.
+    metric:
+        ``"success_rate"`` (report per-rate success fractions) or ``"mean"``.
+    sweep:
+        Whether the figure runs a fault-rate sweep through the engine (and
+        therefore accepts an ``engine`` keyword).
+    batched:
+        Whether at least one series carries a tensorized batch
+        implementation, i.e. the ``vectorized``/``auto`` executors have a
+        fast path for this kernel.
+    trial_factory:
+        The workload-level factory building the series label →
+        trial-function mapping (sweep kernels only).
+    paper_iterations:
+        The paper's iteration budget for this kernel (10,000 for the
+        combinatorial kernels, 1,000 for the numerical ones, 5,000 for the
+        §6.2.2 momentum study), or ``None`` when the generator takes no
+        ``iterations`` argument.  Reduced-scale runs multiply it by the
+        requested scale fraction.
+    min_iterations:
+        Floor applied to the scaled budget (the numerical kernels stay at
+        ≥500 iterations so their solves still converge at reduced scale).
+    takes_trials:
+        Whether the generator accepts a ``trials`` keyword.
+    reduce_trials:
+        Optional adjustment of the requested trial count at reduced scale
+        (e.g. the Figure 6.7 energy search uses one fewer trial).
+    """
+
+    name: str
+    figure: str
+    figure_id: str
+    title: str
+    benchmark: str
+    x_label: str = ""
+    y_label: str = ""
+    metric: str = "mean"
+    sweep: bool = False
+    batched: bool = False
+    trial_factory: Optional[Callable[..., Dict[str, TrialFunction]]] = None
+    paper_iterations: Optional[int] = None
+    min_iterations: int = 0
+    takes_trials: bool = True
+    reduce_trials: Optional[Callable[[int], int]] = None
+
+    @property
+    def use_success_rate(self) -> bool:
+        """Whether tables of this kernel report per-rate success fractions."""
+        return self.metric == "success_rate"
+
+    def builder(self) -> Callable[..., FigureResult]:
+        """The figure generator (resolved lazily from the figures module)."""
+        from repro.experiments import figures
+
+        return getattr(figures, self.figure)
+
+    def build(self, **kwargs: Any) -> FigureResult:
+        """Generate the kernel's figure with the given parameter overrides."""
+        return self.builder()(**kwargs)
+
+    def make_figure(
+        self, series: List[SeriesResult], notes: str = "", **title_format: Any
+    ) -> FigureResult:
+        """Assemble a :class:`FigureResult` from sweep series and spec metadata."""
+        title = self.title.format(**title_format) if title_format else self.title
+        return FigureResult(
+            figure_id=self.figure_id,
+            title=title,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            series=list(series),
+            notes=notes,
+        )
+
+    def reduced_kwargs(self, trials: int, scale: float = 1.0) -> Dict[str, Any]:
+        """Builder overrides for one run at ``scale`` × the paper's budget.
+
+        ``scale=1.0`` reproduces the paper's configuration exactly; smaller
+        fractions shrink each kernel's own iteration budget (respecting its
+        floor), so a reduced run never conflates the combinatorial,
+        numerical, and momentum budgets.
+        """
+        kwargs: Dict[str, Any] = {}
+        if self.takes_trials:
+            kwargs["trials"] = (
+                self.reduce_trials(trials) if self.reduce_trials is not None else trials
+            )
+        if self.paper_iterations is not None:
+            kwargs["iterations"] = max(
+                int(self.paper_iterations * scale), self.min_iterations
+            )
+        return kwargs
+
+    def cache_params(self, kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+        """The cache-key payload for a run with the given overrides.
+
+        The payload must cover every parameter that shapes the figure's
+        values, including the ones left at their defaults (workload seed,
+        fault-rate grid, problem sizes): the builder's signature defaults are
+        merged with the explicit overrides so editing a default invalidates
+        the cache.  The ``engine`` argument is excluded — executors are
+        bit-identical by contract, so executor choice never keys a cache
+        entry.
+        """
+        params = {
+            name: parameter.default
+            for name, parameter in inspect.signature(self.builder()).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+        params.update(kwargs)
+        params.pop("engine", None)
+        return params
+
+
+_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec) -> KernelSpec:
+    """Add a kernel to the registry (names must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"kernel {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by registry name (or by its figure generator name)."""
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    for candidate in _REGISTRY.values():
+        if candidate.figure == name:
+            return candidate
+    raise KeyError(f"unknown kernel {name!r}; available: {kernel_names()}")
+
+
+def kernel_names() -> List[str]:
+    """Registered kernel names, in registration (figure) order."""
+    return list(_REGISTRY)
+
+
+def list_kernels() -> List[KernelSpec]:
+    """All registered kernel specs, in registration (figure) order."""
+    return list(_REGISTRY.values())
+
+
+def sweep_kernels() -> List[KernelSpec]:
+    """The kernels whose figures run a fault-rate sweep through the engine."""
+    return [spec for spec in _REGISTRY.values() if spec.sweep]
+
+
+def batched_kernels() -> List[KernelSpec]:
+    """The kernels with at least one tensorized batch-capable series."""
+    return [spec for spec in _REGISTRY.values() if spec.batched]
+
+
+# --------------------------------------------------------------------------- #
+# Registrations — the single source of truth for the figure suite
+# --------------------------------------------------------------------------- #
+register_kernel(KernelSpec(
+    name="fault_distribution",
+    figure="figure_5_1",
+    figure_id="Figure 5.1",
+    title="Distribution of fault bit positions (measured vs emulated)",
+    x_label="bit position",
+    y_label="probability mass",
+    benchmark="benchmarks/bench_fig5_1_fault_distribution.py",
+    takes_trials=False,
+))
+register_kernel(KernelSpec(
+    name="voltage_curve",
+    figure="figure_5_2",
+    figure_id="Figure 5.2",
+    title="Error rate of an FPU as the voltage is scaled",
+    x_label="supply voltage (V)",
+    y_label="errors per FLOP",
+    benchmark="benchmarks/bench_fig5_2_voltage_curve.py",
+    takes_trials=False,
+))
+register_kernel(KernelSpec(
+    name="sorting",
+    figure="figure_6_1",
+    figure_id="Figure 6.1",
+    title="Accuracy of Sort - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_fig6_1_sorting.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=sorting_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="least_squares_sgd",
+    figure="figure_6_2",
+    figure_id="Figure 6.2",
+    title="Accuracy of Least Squares - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="relative error w.r.t. ideal (lower is better)",
+    benchmark="benchmarks/bench_fig6_2_least_squares.py",
+    sweep=True,
+    batched=True,
+    trial_factory=least_squares_kernel,
+    paper_iterations=1000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="iir",
+    figure="figure_6_3",
+    figure_id="Figure 6.3",
+    title="Accuracy of IIR - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="error energy / signal energy (lower is better)",
+    benchmark="benchmarks/bench_fig6_3_iir.py",
+    sweep=True,
+    batched=True,
+    trial_factory=iir_kernel,
+    paper_iterations=1000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="matching",
+    figure="figure_6_4",
+    figure_id="Figure 6.4",
+    title="Accuracy of Matching - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_fig6_4_matching.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=matching_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="matching_enhancements",
+    figure="figure_6_5",
+    figure_id="Figure 6.5",
+    title="Effect of enhancements on matching success",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_fig6_5_enhancements.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=matching_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="cg_least_squares",
+    figure="figure_6_6",
+    figure_id="Figure 6.6",
+    title="Accuracy of Least Squares (CG vs decomposition baselines)",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="relative error w.r.t. ideal (lower is better)",
+    benchmark="benchmarks/bench_fig6_6_cg_least_squares.py",
+    sweep=True,
+    batched=True,
+    trial_factory=cg_least_squares_kernel,
+))
+register_kernel(KernelSpec(
+    name="energy",
+    figure="figure_6_7",
+    figure_id="Figure 6.7",
+    title="Least Squares Energy vs accuracy target",
+    x_label="accuracy target (relative error)",
+    y_label="energy (power x #FLOPs, nominal-FLOP units)",
+    benchmark="benchmarks/bench_fig6_7_energy.py",
+    reduce_trials=lambda trials: max(trials - 1, 2),
+))
+register_kernel(KernelSpec(
+    name="momentum",
+    figure="momentum_study",
+    figure_id="Section 6.2.2",
+    title="Effect of momentum on solver success rate",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_sec6_2_momentum.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=momentum_kernel,
+    paper_iterations=5000,
+))
+register_kernel(KernelSpec(
+    name="flop_costs",
+    figure="flop_cost_comparison",
+    figure_id="Section 6.3",
+    title="FLOP cost of least-squares implementations (fault-free)",
+    x_label="(single workload)",
+    y_label="FLOPs",
+    benchmark="benchmarks/bench_sec6_3_flop_costs.py",
+    takes_trials=False,
+))
+register_kernel(KernelSpec(
+    name="overhead",
+    figure="overhead_table",
+    figure_id="Section 7",
+    title="FLOP overhead of robust implementations (robust / baseline)",
+    x_label="(single workload)",
+    y_label="overhead factor",
+    benchmark="benchmarks/bench_sec7_overhead.py",
+    takes_trials=False,
+))

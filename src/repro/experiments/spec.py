@@ -51,11 +51,6 @@ class TrialSpec:
     fault_rate: float
     seed: int
     fault_model: Union[str, FaultModel] = "leon3-fpu"
-    #: Whether this trial's series declares a vectorized batch implementation
-    #: (see :func:`repro.experiments.executors.batchable`).  Populated by
-    #: :meth:`SweepSpec.expand`; purely a routing capability — it never
-    #: affects results, which are bit-identical on every execution path.
-    supports_batch: bool = False
 
     def make_stream(self) -> np.random.Generator:
         """The trial's private random stream, derived only from coordinates.
@@ -99,20 +94,6 @@ class SweepSpec:
         """Series names in declaration order."""
         return list(self.trial_functions.keys())
 
-    def series_supports_batch(self, name: str) -> bool:
-        """Whether the named series' trial function has a batch implementation."""
-        return callable(getattr(self.trial_functions[name], "run_batch", None))
-
-    @property
-    def batchable_series(self) -> List[str]:
-        """Names of the series that the tensorized backend can batch."""
-        return [name for name in self.series_names if self.series_supports_batch(name)]
-
-    @property
-    def supports_batch(self) -> bool:
-        """Whether any series can take the tensorized fast path."""
-        return bool(self.batchable_series)
-
     def __len__(self) -> int:
         return len(self.trial_functions) * len(self.fault_rates) * self.trials
 
@@ -129,7 +110,6 @@ class SweepSpec:
                     fault_rate=fault_rate,
                     seed=self.seed,
                     fault_model=fault_model,
-                    supports_batch=self.series_supports_batch(name),
                 )
                 for series_index, name in enumerate(self.series_names)
                 for rate_index, fault_rate in enumerate(self.fault_rates)

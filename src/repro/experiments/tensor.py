@@ -27,9 +27,10 @@ The layering, bottom to top:
 ``repro.applications.*_batch``
     Batch entry points of the hot application kernels.
 *this module*
-    Capability detection (:func:`function_supports_batch`), trial-batch
-    construction (:func:`make_trial_batch`), and the cell runner
-    (:func:`run_tensor_cell`) used by the ``vectorized`` executor.
+    Trial-batch construction (:func:`make_trial_batch`) and the cell runner
+    (:func:`run_tensor_cell`) used by the ``vectorized`` executor.  Batch
+    capability itself is declared and inspected in the application-kernel
+    registry (:mod:`repro.experiments.kernels`).
 
 Everything is bit-identical to serial execution by construction: a trial's
 random streams derive only from its :class:`~repro.experiments.spec.TrialSpec`
@@ -41,32 +42,20 @@ Figure 6.1 sorting sweep.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.kernels import batch_implementation
 from repro.experiments.spec import SweepSpec, TrialSpec
 from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
 __all__ = [
     "ProcessorBatch",
-    "function_supports_batch",
     "make_trial_batch",
     "run_tensor_cell",
 ]
-
-
-def function_supports_batch(function: Callable) -> bool:
-    """Whether a trial function declares a vectorized batch implementation.
-
-    Trial functions opt in through the
-    :func:`~repro.experiments.executors.batchable` decorator, which attaches
-    the batch implementation as a ``run_batch`` attribute.  The capability is
-    threaded through :attr:`TrialSpec.supports_batch` at plan-expansion time
-    so executors can route without re-inspecting functions.
-    """
-    return callable(getattr(function, "run_batch", None))
 
 
 def make_trial_batch(
@@ -96,7 +85,7 @@ def run_tensor_cell(sweep: SweepSpec, specs: Sequence[TrialSpec]) -> List[float]
     if not specs:
         return []
     function = sweep.trial_functions[specs[0].series_name]
-    run_batch = getattr(function, "run_batch", None)
+    run_batch = batch_implementation(function)
     if run_batch is None:
         raise ValueError(
             f"series {specs[0].series_name!r} has no batch implementation; "

@@ -3,7 +3,7 @@
 These microworkloads exercise the engine's executors without dragging in a
 full application solve.  :func:`make_noisy_sum_trial` additionally carries a
 vectorized batch implementation (via
-:func:`~repro.experiments.executors.batchable`) that routes whole trial
+:func:`~repro.experiments.kernels.batchable`) that routes whole trial
 batches through :func:`repro.faults.vectorized.corrupt_batch`, making it the
 reference workload for batched-executor equivalence tests and benchmarks.
 """
@@ -14,7 +14,7 @@ from typing import List
 
 import numpy as np
 
-from repro.experiments.executors import batchable
+from repro.experiments.kernels import batchable
 from repro.experiments.spec import TrialFunction
 from repro.faults.vectorized import corrupt_batch
 from repro.processor.stochastic import StochasticProcessor

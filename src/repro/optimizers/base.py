@@ -3,11 +3,41 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-__all__ = ["IterationRecord", "OptimizationResult"]
+from repro.exceptions import ProblemSpecificationError
+
+__all__ = ["IterationRecord", "OptimizationResult", "stack_initial_iterates"]
+
+
+def stack_initial_iterates(
+    x0: Optional[np.ndarray],
+    n_trials: int,
+    dimension: int,
+    default_row: Callable[[], np.ndarray],
+) -> np.ndarray:
+    """Per-trial starting iterates as an ``(n_trials, dimension)`` stack.
+
+    The shared x0 convention of the batched solver drivers: ``x0`` may be
+    ``None`` (``default_row()`` for every trial — the problem's initial point
+    for SGD, zeros for CG), a single ``(dimension,)`` iterate shared by every
+    trial, or an ``(n_trials, dimension)`` stack of per-trial iterates.  Each
+    row equals what the corresponding serial solver would start trial ``t``
+    from.
+    """
+    if x0 is None:
+        return np.tile(default_row(), (n_trials, 1))
+    x0_arr = np.asarray(x0, dtype=np.float64)
+    if x0_arr.shape == (dimension,):
+        return np.tile(x0_arr, (n_trials, 1))
+    if x0_arr.shape == (n_trials, dimension):
+        return x0_arr.copy()
+    raise ProblemSpecificationError(
+        f"initial iterate has shape {x0_arr.shape}, expected "
+        f"({dimension},) or ({n_trials}, {dimension})"
+    )
 
 
 @dataclass(frozen=True)

@@ -18,16 +18,25 @@ equations ``AᵀA x = Aᵀ b``) with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import ProblemSpecificationError
 from repro.linalg.ops import noisy_matvec, noisy_sub
-from repro.optimizers.base import IterationRecord, OptimizationResult
+from repro.optimizers.base import (
+    IterationRecord,
+    OptimizationResult,
+    stack_initial_iterates,
+)
+from repro.processor.batch import ProcessorBatch, batch_matvec, batch_sub
 from repro.processor.stochastic import StochasticProcessor
 
-__all__ = ["CGOptions", "conjugate_gradient_least_squares"]
+__all__ = [
+    "CGOptions",
+    "conjugate_gradient_least_squares",
+    "conjugate_gradient_least_squares_batch",
+]
 
 
 @dataclass
@@ -176,3 +185,164 @@ def conjugate_gradient_least_squares(
         history=history,
         message="completed CG iterations",
     )
+
+
+def _sanitize_rows(rows: np.ndarray, options: CGOptions) -> np.ndarray:
+    """Row-wise twin of the serial ``_sanitize`` control-phase guard."""
+    cleaned = np.where(np.isfinite(rows), rows, 0.0)
+    if options.outlier_rejection is not None and cleaned.shape[1] > 2:
+        magnitudes = np.abs(cleaned)
+        scales = np.median(magnitudes, axis=1, keepdims=True)
+        cleaned = np.where(
+            (scales > 0.0) & (magnitudes > options.outlier_rejection * scales),
+            0.0,
+            cleaned,
+        )
+    return cleaned
+
+
+def conjugate_gradient_least_squares_batch(
+    A: np.ndarray,
+    b: np.ndarray,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    options: Optional[CGOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> List[OptimizationResult]:
+    """Run one restarted-CGNR solve per processor as a masked tensor loop.
+
+    The tensorized twin of :func:`conjugate_gradient_least_squares`: every
+    trial's iterate, residual, and search direction live as rows of stacked
+    tensors, and each CG iteration advances all trials together through the
+    batched noisy primitives (:func:`~repro.processor.batch.batch_matvec`,
+    :func:`~repro.processor.batch.batch_sub`).  The scalar recurrences (α, β)
+    are reliable control work and run per row; the data-dependent branches —
+    the unusable-curvature restart and the periodic direction restart — run
+    as *masked sub-batches*: the affected trials' rows are narrowed into a
+    sub-:class:`~repro.processor.batch.ProcessorBatch` so their generators
+    consume exactly the draws the serial control flow would consume, and no
+    others.  Trial ``t``'s result is therefore bit-identical to
+    ``conjugate_gradient_least_squares(A, b, procs[t], options, x0)``.
+
+    ``record_history`` (per-trial instrumentation) falls back to per-trial
+    serial execution without losing bit-identity.  ``x0`` may be ``None``,
+    one shared ``(n,)`` iterate, or a per-trial ``(n_trials, n)`` stack.
+    """
+    options = options if options is not None else CGOptions()
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    A_arr = np.asarray(A, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if A_arr.ndim != 2 or A_arr.shape[0] != b_arr.shape[0]:
+        raise ProblemSpecificationError(
+            f"least-squares shape mismatch: A {A_arr.shape}, b {b_arr.shape}"
+        )
+    n_trials = len(batch)
+    n = A_arr.shape[1]
+    X = stack_initial_iterates(x0, n_trials, n, lambda: np.zeros(n))
+    if options.record_history:
+        return [
+            conjugate_gradient_least_squares(
+                A_arr, b_arr, proc, options=options, x0=X[trial]
+            )
+            for trial, proc in enumerate(batch.procs)
+        ]
+
+    batch.flush()  # counters must be current before the baseline read
+    flops_before = [proc.flops for proc in batch.procs]
+    faults_before = [proc.faults_injected for proc in batch.procs]
+    tiny = float(np.finfo(float).tiny)
+
+    # Sub-batches for the masked branches, cached per trial-index subset.
+    # Deferred corruption tallies are additive per batch object, so every
+    # batch that saw a corrupt call is flushed before the final counter read.
+    all_trials = tuple(range(n_trials))
+    sub_batches: Dict[Tuple[int, ...], ProcessorBatch] = {all_trials: batch}
+
+    def _narrow(index: np.ndarray) -> ProcessorBatch:
+        key = tuple(int(t) for t in index)
+        sub = sub_batches.get(key)
+        if sub is None:
+            sub = ProcessorBatch([batch.procs[t] for t in key])
+            sub_batches[key] = sub
+        return sub
+
+    def _row_dots(U: np.ndarray, V: np.ndarray, index: np.ndarray) -> np.ndarray:
+        """Per-row reliable dot products, charged exactly as ``_reliable_dot``.
+
+        Each row goes through ``u @ v`` — the serial ``_reliable_dot``
+        reduction — rather than a fused ``einsum``, whose different summation
+        order could change the last bits of α/β and break the bit-identity
+        contract.  The rows are few (one per trial), so the loop is not on
+        the hot path.
+        """
+        length = U.shape[1]
+        for t in index:
+            batch.procs[int(t)].count_flops(2 * length - 1)
+        return np.array([float(u @ v) for u, v in zip(U, V)])
+
+    def _normal_residuals(sub: ProcessorBatch, X_rows: np.ndarray) -> np.ndarray:
+        """Row-wise noisy ``Aᵀ(b - A x)``, mirroring ``_normal_residual``."""
+        Ax = batch_matvec(sub, A_arr, X_rows)
+        residuals = batch_sub(sub, b_arr, Ax)
+        return batch_matvec(sub, A_arr.T, residuals)
+
+    every = np.arange(n_trials)
+    R = _sanitize_rows(_normal_residuals(batch, X), options)
+    P = R.copy()
+    rs_old = np.maximum(_row_dots(R, R, every), tiny)
+
+    for iteration in range(1, options.iterations + 1):
+        Ap = _sanitize_rows(batch_matvec(batch, A_arr, P), options)
+        curvatures = _row_dots(Ap, Ap, every)
+        usable = np.isfinite(curvatures) & (curvatures > 0)
+        bad = np.flatnonzero(~usable)
+        if bad.size:
+            # The serial control flow restarts these trials from the
+            # steepest-descent direction and skips the rest of the iteration.
+            sub = _narrow(bad)
+            R_bad = _sanitize_rows(_normal_residuals(sub, X[bad]), options)
+            R[bad] = R_bad
+            P[bad] = R_bad
+            rs_old[bad] = np.maximum(_row_dots(R_bad, R_bad, bad), tiny)
+        good = np.flatnonzero(usable)
+        if good.size == 0:
+            continue
+        sub_good = _narrow(good)
+        alphas = rs_old[good] / curvatures[good]
+        alphas = np.where(np.isfinite(alphas), alphas, 0.0)
+        X[good] = X[good] + alphas[:, np.newaxis] * P[good]
+        ATAp = batch_matvec(sub_good, A_arr.T, Ap[good])
+        R_good = _sanitize_rows(
+            batch_sub(sub_good, R[good], alphas[:, np.newaxis] * ATAp), options
+        )
+        rs_new = _row_dots(R_good, R_good, good)
+        rs_new = np.where(np.isfinite(rs_new) & (rs_new >= 0), rs_new, tiny)
+        if iteration % options.restart_every == 0:
+            # Periodic restart: recompute the true residual direction.
+            R_good = _sanitize_rows(_normal_residuals(sub_good, X[good]), options)
+            P[good] = R_good
+            rs_new = np.maximum(_row_dots(R_good, R_good, good), tiny)
+        else:
+            betas = rs_new / np.maximum(rs_old[good], tiny)
+            betas = np.where(np.isfinite(betas) & (betas >= 0), betas, 0.0)
+            P[good] = R_good + betas[:, np.newaxis] * P[good]
+        R[good] = R_good
+        rs_old[good] = np.maximum(rs_new, tiny)
+
+    for sub in sub_batches.values():
+        sub.flush()  # deferred batched accounting -> per-processor counters
+    results: List[OptimizationResult] = []
+    for trial, proc in enumerate(batch.procs):
+        final_residual = A_arr @ X[trial] - b_arr
+        results.append(
+            OptimizationResult(
+                x=X[trial].copy(),
+                objective=float(final_residual @ final_residual),
+                iterations=options.iterations,
+                converged=True,
+                flops=proc.flops - flops_before[trial],
+                faults_injected=proc.faults_injected - faults_before[trial],
+                history=[],
+                message="completed CG iterations",
+            )
+        )
+    return results

@@ -117,7 +117,7 @@ class UnconstrainedProblem:
         return grad
 
     @property
-    def supports_batch_gradient(self) -> bool:
+    def has_batch_gradient(self) -> bool:
         """Whether this problem carries a tensorized gradient implementation."""
         return self._gradient_batch is not None
 

@@ -32,7 +32,11 @@ import numpy as np
 
 from repro.exceptions import ProblemSpecificationError
 from repro.optimizers.annealing import PenaltyAnnealing
-from repro.optimizers.base import IterationRecord, OptimizationResult
+from repro.optimizers.base import (
+    IterationRecord,
+    OptimizationResult,
+    stack_initial_iterates,
+)
 from repro.optimizers.momentum import MomentumSmoother
 from repro.optimizers.step_schedules import (
     AggressiveStepping,
@@ -282,14 +286,17 @@ def stochastic_gradient_descent_batch(
     ----------
     problem:
         A problem exposing ``gradient_batch(X, batch)`` next to the serial
-        interface (``supports_batch_gradient`` true); otherwise every trial
-        falls back to the serial solver.
+        interface (``has_batch_gradient`` true); otherwise every trial falls
+        back to the serial solver.
     batch:
         The per-trial processors, wrapped in a
         :class:`~repro.processor.batch.ProcessorBatch`.
     options / x0:
-        As for :func:`stochastic_gradient_descent`; ``x0`` (shared by every
-        trial) may be ``None`` for the problem's initial point.
+        As for :func:`stochastic_gradient_descent`.  ``x0`` may be ``None``
+        (the problem's initial point), one ``(dimension,)`` iterate shared by
+        every trial, or a stacked ``(n_trials, dimension)`` array giving each
+        trial its own starting iterate (e.g. a per-trial noisy
+        initialization).
 
     Returns
     -------
@@ -297,21 +304,17 @@ def stochastic_gradient_descent_batch(
         One result per processor, in batch order.
     """
     options = options if options is not None else SGDOptions()
-    if options.record_history or not getattr(problem, "supports_batch_gradient", False):
-        return [
-            stochastic_gradient_descent(problem, proc, options=options, x0=x0)
-            for proc in batch.procs
-        ]
     n_trials = len(batch)
+    starts = stack_initial_iterates(x0, n_trials, problem.dimension, problem.initial_point)
+    if options.record_history or not getattr(problem, "has_batch_gradient", False):
+        return [
+            stochastic_gradient_descent(problem, proc, options=options, x0=starts[trial])
+            for trial, proc in enumerate(batch.procs)
+        ]
     schedule = options.resolved_schedule()
     smoother = MomentumSmoother(options.momentum) if options.momentum else None
 
-    start = problem.initial_point() if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    if start.shape != (problem.dimension,):
-        raise ProblemSpecificationError(
-            f"initial iterate has shape {start.shape}, expected ({problem.dimension},)"
-        )
-    X = np.tile(start, (n_trials, 1))
+    X = starts.copy()
 
     batch.flush()  # counters must be current before the baseline read
     flops_before = [proc.flops for proc in batch.procs]

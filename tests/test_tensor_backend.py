@@ -10,10 +10,18 @@ fault rates (including zero).  These tests pin that contract at each layer.
 import numpy as np
 import pytest
 
+from repro.applications.iir import robust_iir_filter, robust_iir_filter_batch
 from repro.applications.least_squares import (
     default_least_squares_step,
+    robust_least_squares_cg,
+    robust_least_squares_cg_batch,
     robust_least_squares_sgd,
     robust_least_squares_sgd_batch,
+)
+from repro.applications.matching import (
+    default_matching_config,
+    robust_matching,
+    robust_matching_batch,
 )
 from repro.applications.sorting import (
     default_sorting_config,
@@ -22,17 +30,22 @@ from repro.applications.sorting import (
 )
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.executors import AutoExecutor, VectorizedExecutor, batchable
-from repro.experiments.figures import sorting_trial_functions
-from repro.experiments.spec import SweepSpec
-from repro.experiments.tensor import (
-    function_supports_batch,
-    make_trial_batch,
-    run_tensor_cell,
+from repro.experiments.executors import AutoExecutor, VectorizedExecutor
+from repro.experiments.kernels import (
+    batchable,
+    batchable_series,
+    cg_least_squares_trial_functions,
+    iir_trial_functions,
+    is_batchable,
+    momentum_trial_functions,
+    sorting_trial_functions,
 )
+from repro.experiments.spec import SweepSpec
+from repro.experiments.tensor import make_trial_batch, run_tensor_cell
 from repro.experiments.trials import make_noisy_sum_trial
 from repro.faults.distribution import EmulatedBitDistribution
 from repro.faults.vectorized import corrupt_array, corrupt_batch
+from repro.optimizers.conjugate_gradient import CGOptions
 from repro.optimizers.problem import QuadraticProblem
 from repro.optimizers.sgd import (
     SGDOptions,
@@ -41,7 +54,12 @@ from repro.optimizers.sgd import (
 )
 from repro.processor.batch import ProcessorBatch, batch_matvec, batch_sub
 from repro.processor.stochastic import StochasticProcessor
-from repro.workloads.generators import random_array, random_least_squares
+from repro.workloads.generators import (
+    random_array,
+    random_bipartite_graph,
+    random_least_squares,
+)
+from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
 MIXED_RATES = [0.0, 0.001, 0.01, 0.1, 0.1, 0.5]
 
@@ -221,6 +239,92 @@ class TestApplicationBatchPaths:
             assert v.flops == s.flops
             np.testing.assert_array_equal(v.x, s.x)
 
+    @pytest.mark.parametrize(
+        "options",
+        [
+            CGOptions(iterations=10),
+            # Short restart period + outlier rejection stresses the masked
+            # sub-batch branches (periodic restarts every other iteration).
+            CGOptions(iterations=9, restart_every=2, outlier_rejection=6.0),
+        ],
+    )
+    def test_robust_least_squares_cg_batch_matches_serial(self, options):
+        """The masked-batch CGNR driver is bit-identical across mixed rates.
+
+        The 50 % fault-rate trial routinely trips the unusable-curvature
+        restart, so the data-dependent branch is exercised, not just the
+        lockstep fast path.
+        """
+        A, b, _ = random_least_squares(60, 8, rng=2010)
+        serial = [
+            robust_least_squares_cg(A, b, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = robust_least_squares_cg_batch(A, b, make_procs(), options=options)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.x, s.x)
+            assert v.relative_error == s.relative_error
+            assert v.residual_norm == s.residual_norm
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
+    def test_cg_batch_record_history_falls_back_per_trial(self):
+        A, b, _ = random_least_squares(30, 5, rng=4)
+        options = CGOptions(iterations=6, record_history=True)
+        serial = [
+            robust_least_squares_cg(A, b, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = robust_least_squares_cg_batch(A, b, make_procs(), options=options)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.x, s.x)
+            history_s = [r.objective for r in s.optimizer_result.history]
+            history_v = [r.objective for r in v.optimizer_result.history]
+            assert history_v == history_s
+
+    @pytest.mark.parametrize("variant", ["SGD,LS", "SGD+AS,LS"])
+    def test_robust_iir_filter_batch_matches_serial(self, variant):
+        filt = random_stable_iir(6, rng=2010, pole_radius=0.8)
+        signal = sum_of_sinusoids(100)
+        options = sgd_options_for_variant(variant, iterations=30, base_step=0.25)
+        serial = [
+            robust_iir_filter(filt, signal, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = robust_iir_filter_batch(filt, signal, make_procs(), options=options)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.y, s.y)
+            assert v.error_to_signal == s.error_to_signal
+            assert v.mse == s.mse
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
+    def test_robust_iir_filter_batch_without_preconditioning(self):
+        filt = random_stable_iir(4, rng=7, pole_radius=0.6)
+        signal = sum_of_sinusoids(60)
+        options = SGDOptions(iterations=25, schedule="ls", base_step=0.05)
+        kwargs = {"options": options, "precondition": False}
+        serial = [
+            robust_iir_filter(filt, signal, proc, **kwargs) for proc in make_procs()
+        ]
+        batched = robust_iir_filter_batch(filt, signal, make_procs(), **kwargs)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.y, s.y)
+            assert v.flops == s.flops
+
+    @pytest.mark.parametrize("variant", ["SGD,LS", "MOMENTUM", "ALL"])
+    def test_robust_matching_batch_matches_serial(self, variant):
+        graph = random_bipartite_graph(4, 5, 14, rng=2010)
+        config = default_matching_config(iterations=60, variant=variant, graph=graph)
+        serial = [robust_matching(graph, proc, config) for proc in make_procs()]
+        batched = robust_matching_batch(graph, make_procs(), config)
+        for s, v in zip(serial, batched):
+            assert v.edges == s.edges
+            assert v.success == s.success
+            assert v.weight == s.weight
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
 
 def sorting_sweep(trials=3, iterations=40, rates=(0.0, 0.01, 0.1)):
     values = random_array(4, rng=2010, min_gap=0.08)
@@ -233,12 +337,11 @@ def sorting_sweep(trials=3, iterations=40, rates=(0.0, 0.01, 0.1)):
 
 
 class TestVectorizedExecutor:
-    def test_supports_batch_flags(self):
+    def test_registry_capability_dispatch(self):
         sweep = sorting_sweep()
-        assert sweep.batchable_series == ["SGD"]
-        assert sweep.supports_batch
-        flags = {spec.series_name: spec.supports_batch for spec in sweep.expand()}
-        assert flags == {"Base": False, "SGD": True}
+        assert batchable_series(sweep) == ["SGD"]
+        assert not is_batchable(sweep.trial_functions["Base"])
+        assert is_batchable(sweep.trial_functions["SGD"])
 
     def test_sorting_sweep_bit_identical_to_serial(self):
         """The acceptance scenario: vectorized == serial on a Fig 6.1 sweep."""
@@ -286,21 +389,75 @@ class TestVectorizedExecutor:
         batchable_sweep = sorting_sweep()
         assert isinstance(AutoExecutor(), AutoExecutor)
         plain = SweepSpec({"plain": lambda proc, rng: 0.0}, fault_rates=(0.1,), trials=2)
-        assert not plain.supports_batch
+        assert not batchable_series(plain)
         values = AutoExecutor().run(plain, plain.expand())
         assert values == [0.0, 0.0]
         values = AutoExecutor().run(batchable_sweep, batchable_sweep.expand())
         assert len(values) == len(batchable_sweep)
 
 
+class TestNewlyBatchedKernelSweeps:
+    """Figure 6.3 / 6.6 / §6.2.2 shaped sweeps: vectorized == serial."""
+
+    def test_iir_sweep_bit_identical_to_serial(self):
+        def sweep():
+            filt = random_stable_iir(4, rng=2010, pole_radius=0.7)
+            signal = sum_of_sinusoids(60)
+            return SweepSpec(
+                iir_trial_functions(
+                    filt, signal, iterations=20,
+                    series={"Base": None, "SGD,LS": "SGD,LS"},
+                ),
+                fault_rates=(0.0, 0.05, 0.3),
+                trials=2,
+                seed=2010,
+            )
+
+        serial = ExperimentEngine("serial").run_sweep(sweep())
+        vectorized = ExperimentEngine("vectorized").run_sweep(sweep())
+        assert [s.values for s in vectorized] == [s.values for s in serial]
+        assert [s.name for s in vectorized] == [s.name for s in serial]
+
+    def test_cg_least_squares_sweep_bit_identical_to_serial(self):
+        def sweep():
+            A, b, _ = random_least_squares(40, 6, rng=2010)
+            return SweepSpec(
+                cg_least_squares_trial_functions(A, b, cg_iterations=8),
+                fault_rates=(0.0, 0.01, 0.5),
+                trials=2,
+                seed=2010,
+            )
+
+        assert batchable_series(sweep()) == ["CG, N=8"]
+        serial = ExperimentEngine("serial").run_sweep(sweep())
+        vectorized = ExperimentEngine("vectorized").run_sweep(sweep())
+        assert [s.values for s in vectorized] == [s.values for s in serial]
+
+    def test_momentum_sweep_bit_identical_to_serial(self):
+        def sweep():
+            values = random_array(4, rng=2010, min_gap=0.08)
+            graph = random_bipartite_graph(3, 4, 9, rng=2010)
+            return SweepSpec(
+                momentum_trial_functions(values, graph, iterations=40),
+                fault_rates=(0.1,),
+                trials=2,
+                seed=2010,
+            )
+
+        assert len(batchable_series(sweep())) == 4
+        serial = ExperimentEngine("serial").run_sweep(sweep())
+        auto = ExperimentEngine("auto").run_sweep(sweep())
+        assert [s.values for s in auto] == [s.values for s in serial]
+
+
 class TestTensorHelpers:
-    def test_function_supports_batch(self):
-        assert function_supports_batch(make_noisy_sum_trial())
+    def test_is_batchable(self):
+        assert is_batchable(make_noisy_sum_trial())
 
         def plain(proc, rng):
             return 0.0
 
-        assert not function_supports_batch(plain)
+        assert not is_batchable(plain)
 
     def test_make_trial_batch_mirrors_serial_construction(self):
         sweep = sorting_sweep()
