@@ -1,0 +1,18 @@
+"""§4.6 extension — all-pairs shortest paths via the triangle-inequality LP."""
+
+from benchmarks.conftest import run_kernel_benchmark
+
+
+def test_ext_apsp(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "apsp",
+        trials=3, iterations=1000, fault_rates=reduced_fault_rates,
+        engine=auto_engine,
+    )
+    robust = figure.series_named("SGD,SQS").means()
+    base = figure.series_named("Base").means()
+    # Floyd–Warshall is exact near-fault-free but its relaxations compound
+    # corrupted distances at high rates; the robust LP degrades gracefully.
+    assert base[0] < 1e-3
+    assert all(value < 1.0 for value in robust)
+    assert base[-1] > robust[-1]

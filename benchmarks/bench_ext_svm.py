@@ -1,0 +1,17 @@
+"""§4.7 extension — linear SVM training under FPU faults."""
+
+from benchmarks.conftest import run_kernel_benchmark
+
+
+def test_ext_svm(benchmark, reduced_fault_rates, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "svm",
+        trials=3, iterations=200, fault_rates=reduced_fault_rates,
+        engine=auto_engine,
+    )
+    sgd = figure.series_named("SGD,LS").means()  # mean training accuracy
+    pegasos = figure.series_named("Base: Pegasos").means()
+    # Both trainers are data-fitting solvers that are already variational, so
+    # training accuracy holds up across the whole fault-rate grid (§4.7).
+    assert min(sgd) >= 0.9
+    assert min(pegasos) >= 0.8

@@ -48,17 +48,32 @@ from repro.applications.maxflow import (
     MaxFlowResult,
     maxflow_linear_program,
     robust_max_flow,
+    robust_max_flow_batch,
     baseline_max_flow,
 )
 from repro.applications.shortest_path import (
     ShortestPathResult,
     apsp_linear_program,
     robust_all_pairs_shortest_path,
+    robust_all_pairs_shortest_path_batch,
     baseline_all_pairs_shortest_path,
     exact_all_pairs_shortest_path,
 )
-from repro.applications.eigen import EigenResult, robust_top_eigenpair, robust_eigenpairs
-from repro.applications.svm import SVMResult, robust_svm_train, svm_accuracy
+from repro.applications.eigen import (
+    EigenResult,
+    robust_top_eigenpair,
+    robust_eigenpairs,
+    robust_eigenpairs_batch,
+)
+from repro.applications.svm import (
+    SVMHingeProblem,
+    SVMResult,
+    default_svm_step,
+    robust_svm_train,
+    robust_svm_train_sgd,
+    robust_svm_train_sgd_batch,
+    svm_accuracy,
+)
 
 __all__ = [
     "LeastSquaresResult",
@@ -85,16 +100,23 @@ __all__ = [
     "MaxFlowResult",
     "maxflow_linear_program",
     "robust_max_flow",
+    "robust_max_flow_batch",
     "baseline_max_flow",
     "ShortestPathResult",
     "apsp_linear_program",
     "robust_all_pairs_shortest_path",
+    "robust_all_pairs_shortest_path_batch",
     "baseline_all_pairs_shortest_path",
     "exact_all_pairs_shortest_path",
     "EigenResult",
     "robust_top_eigenpair",
     "robust_eigenpairs",
+    "robust_eigenpairs_batch",
+    "SVMHingeProblem",
     "SVMResult",
+    "default_svm_step",
     "robust_svm_train",
+    "robust_svm_train_sgd",
+    "robust_svm_train_sgd_batch",
     "svm_accuracy",
 ]

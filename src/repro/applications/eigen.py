@@ -11,15 +11,21 @@ and a reliable normalization/deflation control phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ProblemSpecificationError
 from repro.linalg.ops import noisy_matvec
+from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
-__all__ = ["EigenResult", "robust_top_eigenpair", "robust_eigenpairs"]
+__all__ = [
+    "EigenResult",
+    "robust_top_eigenpair",
+    "robust_eigenpairs",
+    "robust_eigenpairs_batch",
+]
 
 
 @dataclass
@@ -54,13 +60,8 @@ def robust_top_eigenpair(
     iterative refinement the paper argues tolerates unbiased FPU noise.
     """
     M_arr = np.asarray(M, dtype=np.float64)
+    _validate_eigen_matrix(M_arr, iterations)
     n = M_arr.shape[0]
-    if M_arr.shape != (n, n):
-        raise ProblemSpecificationError(f"expected a square matrix, got {M_arr.shape}")
-    if not np.allclose(M_arr, M_arr.T, atol=1e-10):
-        raise ProblemSpecificationError("matrix must be symmetric")
-    if iterations < 1:
-        raise ProblemSpecificationError("iterations must be at least 1")
     generator = rng if rng is not None else np.random.default_rng(0)
 
     flops_before, faults_before = proc.flops, proc.faults_injected
@@ -122,3 +123,118 @@ def robust_eigenpairs(
         results.append(result)
         deflated = deflated - result.eigenvalue * np.outer(result.eigenvector, result.eigenvector)
     return results
+
+
+def _validate_eigen_matrix(M_arr: np.ndarray, iterations: int) -> None:
+    """The :func:`robust_top_eigenpair` argument checks, shared with the batch path."""
+    n = M_arr.shape[0]
+    if M_arr.shape != (n, n):
+        raise ProblemSpecificationError(f"expected a square matrix, got {M_arr.shape}")
+    if not np.allclose(M_arr, M_arr.T, atol=1e-10):
+        raise ProblemSpecificationError("matrix must be symmetric")
+    if iterations < 1:
+        raise ProblemSpecificationError("iterations must be at least 1")
+
+
+def robust_eigenpairs_batch(
+    M: np.ndarray,
+    k: int,
+    procs: Union[ProcessorBatch, Sequence[StochasticProcessor]],
+    iterations: int = 200,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+) -> List[List[EigenResult]]:
+    """Run one :func:`robust_eigenpairs` computation per processor, batched.
+
+    The batch entry point of the tensorized trial backend for the §4.7
+    eigenpair kernel.  Every trial's power iteration advances together: the
+    noisy matrix-vector product — the only corruptible work of the serial
+    loop — is evaluated for the whole stack with one fused corruption pass
+    per iteration (row ``t`` drawn from trial ``t``'s own generator in
+    serial order, see :class:`~repro.processor.batch.ProcessorBatch`), while
+    the reliable control phase (zeroing non-finite components,
+    normalization, random restarts from the trial's own stream) runs per
+    trial.  Deflation makes the iterated matrix *per trial* after the first
+    pair, so the stacked product uses each trial's own deflated matrix.
+
+    ``rngs`` supplies one private random stream per trial (defaulting, like
+    the serial path, to ``np.random.default_rng(0)`` each).  Trial ``t``'s
+    result list is bit-identical — eigenpairs, errors, and FLOP/fault
+    counters — to ``robust_eigenpairs(M, k, procs[t], iterations,
+    rngs[t])``.
+    """
+    M_arr = np.asarray(M, dtype=np.float64).copy()
+    _validate_eigen_matrix(M_arr, iterations)
+    if k < 1 or k > M_arr.shape[0]:
+        raise ProblemSpecificationError(
+            f"k must be between 1 and {M_arr.shape[0]}, got {k}"
+        )
+    batch = procs if isinstance(procs, ProcessorBatch) else ProcessorBatch(procs)
+    n_trials = len(batch)
+    if rngs is None:
+        generators = [np.random.default_rng(0) for _ in range(n_trials)]
+    else:
+        generators = list(rngs)
+        if len(generators) != n_trials:
+            raise ProblemSpecificationError(
+                f"{len(generators)} streams for a batch of {n_trials} trials"
+            )
+    n = M_arr.shape[0]
+    tiny = np.finfo(float).tiny
+    exact_magnitudes = np.sort(np.abs(np.linalg.eigvalsh(M_arr)))[::-1]
+    deflated = np.broadcast_to(M_arr, (n_trials, n, n)).copy()
+    outcomes: List[List[EigenResult]] = [[] for _ in range(n_trials)]
+
+    for index in range(k):
+        for trial in range(n_trials):
+            _validate_eigen_matrix(deflated[trial], iterations)
+        batch.flush()  # counters must be current before the baseline read
+        flops_before = [proc.flops for proc in batch.procs]
+        faults_before = [proc.faults_injected for proc in batch.procs]
+
+        X = np.empty((n_trials, n))
+        for trial, generator in enumerate(generators):
+            x = generator.standard_normal(n)
+            X[trial] = x / np.linalg.norm(x)
+        for _ in range(iterations):
+            # The stacked twin of noisy_matvec, with a per-trial matrix: the
+            # elementwise products and the row-sum accumulations are each
+            # corrupted once for the whole batch.
+            products = batch.corrupt(deflated * X[:, np.newaxis, :], ops_per_element=1)
+            Y = batch.corrupt(products.sum(axis=2), ops_per_element=max(n - 1, 1))
+            Y = np.where(np.isfinite(Y), Y, 0.0)
+            for trial in range(n_trials):
+                y = Y[trial]
+                norm = np.linalg.norm(y)
+                if norm <= tiny:
+                    # Restart from a fresh random direction (reliable control
+                    # phase), from this trial's own stream.
+                    y = generators[trial].standard_normal(n)
+                    norm = np.linalg.norm(y)
+                X[trial] = y / norm
+        batch.flush()  # deferred batched accounting -> per-processor counters
+
+        # Score against the original matrix's spectrum rather than the
+        # deflated one, exactly as robust_eigenpairs does.
+        target = float(exact_magnitudes[index])
+        for trial, proc in enumerate(batch.procs):
+            x = X[trial]
+            D = deflated[trial]
+            eigenvalue = float(x @ D @ x)
+            # The deflated matrix's eigendecomposition only supplies the
+            # alignment reference vector.
+            exact_values, exact_vectors = np.linalg.eigh(D)
+            exact_vector = exact_vectors[:, int(np.argmax(np.abs(exact_values)))]
+            result = EigenResult(
+                eigenvalue=eigenvalue,
+                eigenvector=x,
+                eigenvalue_error=abs(abs(eigenvalue) - target) / max(target, 1e-30),
+                eigenvector_alignment=float(abs(x @ exact_vector)),
+                iterations=iterations,
+                flops=proc.flops - flops_before[trial],
+                faults_injected=proc.faults_injected - faults_before[trial],
+            )
+            outcomes[trial].append(result)
+            deflated[trial] = D - result.eigenvalue * np.outer(
+                result.eigenvector, result.eigenvector
+            )
+    return outcomes

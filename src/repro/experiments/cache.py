@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
@@ -26,10 +28,38 @@ __all__ = ["spec_hash", "ResultCache"]
 _SCHEMA_VERSION = 1
 
 
+def _canonical_json(payload: Mapping[str, Any]) -> str:
+    """Strict canonical JSON form of a cache-key payload.
+
+    Canonicalization must be *injective* on distinct payloads: a lenient
+    ``default=str`` fallback would stringify non-JSON values, making e.g. a
+    float and its string form (or any two objects with equal ``str()``) hash
+    identically and silently serve one spec's figure for another.  Payload
+    values must therefore already be JSON-serializable (and finite — JSON has
+    no NaN/inf); anything else raises ``TypeError``/``ValueError`` so the
+    caller converts explicitly (as ``SweepSpec.fingerprint`` does for fault
+    models).
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        raise type(error)(
+            f"cache-key payload is not strictly JSON-serializable: {error}; "
+            "convert non-JSON values (objects, NaN/inf) explicitly before "
+            "keying the cache"
+        ) from error
+
+
 def spec_hash(payload: Mapping[str, Any]) -> str:
-    """SHA-256 of the canonical JSON form of a cache-key payload."""
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    """SHA-256 of the canonical JSON form of a cache-key payload.
+
+    Raises ``TypeError``/``ValueError`` when the payload contains values with
+    no strict JSON form (see :func:`_canonical_json`) instead of hashing a
+    lossy stringification.
+    """
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -69,8 +99,11 @@ class ResultCache:
     def store(self, payload: Mapping[str, Any], figure: FigureResult) -> Path:
         """Write ``figure`` under ``payload``'s hash and return the file path.
 
-        The write goes through a temporary file and an atomic rename so a
-        crashed run cannot leave a truncated entry behind.
+        The write goes through a per-writer temporary file and an atomic
+        rename, so a crashed run cannot leave a truncated entry behind and
+        two processes storing the same spec concurrently cannot interleave
+        their writes into one corrupt entry (each publishes its own complete
+        file; last rename wins — both contents are equivalent by key).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(payload)
@@ -79,7 +112,17 @@ class ResultCache:
             "key": dict(payload),
             "figure": figure.to_dict(),
         }
-        tmp_path = path.with_suffix(".tmp")
-        tmp_path.write_text(json.dumps(entry, sort_keys=True, default=str))
-        tmp_path.replace(path)
+        # The tmp name must be unique per writer: a shared name (e.g. a plain
+        # ``.tmp`` suffix) lets concurrent writers interleave write_text and
+        # publish a corrupt entry.
+        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            # No default=str fallback: a non-JSON value in the figure body
+            # must fail loudly at store time, not round-trip as its str().
+            tmp_path.write_text(json.dumps(entry, sort_keys=True))
+            tmp_path.replace(path)
+        finally:
+            # A failed replace (or an exception mid-write) must not leave the
+            # tmp file behind to accumulate in the cache directory.
+            tmp_path.unlink(missing_ok=True)
         return path

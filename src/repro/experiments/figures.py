@@ -71,6 +71,10 @@ __all__ = [
     "figure_6_6",
     "figure_6_7",
     "momentum_study",
+    "eigen_study",
+    "maxflow_study",
+    "apsp_study",
+    "svm_study",
     "flop_cost_comparison",
     "overhead_table",
 ]
@@ -283,6 +287,104 @@ def momentum_study(
         "momentum", (fault_rate,), trials, seed, engine, iterations=iterations,
     )
     return kernel.make_figure(series)
+
+
+# --------------------------------------------------------------------------- #
+# Extension experiments — the §4.5–§4.7 applications the paper describes
+# without evaluating on the FPGA
+# --------------------------------------------------------------------------- #
+def eigen_study(
+    trials: int = 5,
+    iterations: int = 200,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    matrix_size: int = 8,
+    condition_number: float = 10.0,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """§4.7: eigenpair extraction by Rayleigh-quotient ascent and deflation.
+
+    Series compare the top pair alone against a two-pair deflation run; the
+    value is the worst relative eigenvalue error over the extracted pairs
+    (lower is better).  Every series is batch-capable (batched power
+    iterations over per-trial deflated matrices).
+    """
+    kernel, series = _run_kernel_sweep(
+        "eigen", fault_rates, trials, seed, engine,
+        iterations=iterations, matrix_size=matrix_size,
+        condition_number=condition_number,
+    )
+    return kernel.make_figure(series, iterations=iterations)
+
+
+def maxflow_study(
+    trials: int = 5,
+    iterations: int = 5000,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    n_nodes: int = 6,
+    n_edges: int = 12,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """§4.5: maximum flow via the penalized LP vs noisy Edmonds–Karp.
+
+    The value is the relative error of the computed flow value against the
+    exact maximum flow (lower is better).  Robust series share the
+    masked-batch LP path, so ``vectorized``/``auto`` engines run them
+    tensorized.
+    """
+    kernel, series = _run_kernel_sweep(
+        "maxflow", fault_rates, trials, seed, engine,
+        iterations=iterations, n_nodes=n_nodes, n_edges=n_edges,
+    )
+    return kernel.make_figure(series, iterations=iterations)
+
+
+def apsp_study(
+    trials: int = 5,
+    iterations: int = 5000,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    n_nodes: int = 5,
+    n_edges: int = 10,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """§4.6: all-pairs shortest paths via the triangle-inequality LP.
+
+    The value is the mean relative distance error against the exact APSP
+    distances (lower is better); the baseline is Floyd–Warshall on the noisy
+    FPU.  Robust series share the masked-batch LP path.
+    """
+    kernel, series = _run_kernel_sweep(
+        "apsp", fault_rates, trials, seed, engine,
+        iterations=iterations, n_nodes=n_nodes, n_edges=n_edges,
+    )
+    return kernel.make_figure(series, iterations=iterations)
+
+
+def svm_study(
+    trials: int = 5,
+    iterations: int = 1000,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    n_samples: int = 60,
+    n_features: int = 5,
+    regularization: float = 0.01,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """§4.7: linear SVM training accuracy under FPU faults.
+
+    Series compare the per-sample Pegasos trainer against full-batch
+    hinge-loss SGD variants; the value is the training accuracy of the
+    learned separator (higher is better).  The SGD series are batch-capable
+    (batched hinge-loss subgradient descent).
+    """
+    kernel, series = _run_kernel_sweep(
+        "svm", fault_rates, trials, seed, engine,
+        iterations=iterations, n_samples=n_samples, n_features=n_features,
+        regularization=regularization,
+    )
+    return kernel.make_figure(series, iterations=iterations)
 
 
 # --------------------------------------------------------------------------- #

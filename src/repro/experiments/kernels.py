@@ -15,8 +15,10 @@ collapses that coupling into one registry:
   threading a flag through every plan object.
 * **Trial-function factories.**  Each paper workload (sorting §4.3, least
   squares §4.1, IIR §4.2, matching §4.4, CG least squares §3.3, the §6.2.2
-  momentum study) builds its series label → trial-function mapping here,
-  with the batch tier wired in where the application exposes one.
+  momentum study) and each extension application (max-flow §4.5, all-pairs
+  shortest paths §4.6, eigenpairs and SVM training §4.7) builds its series
+  label → trial-function mapping here, with the batch tier wired in where
+  the application exposes one.
 * **Kernel specs.**  :class:`KernelSpec` records, under a stable name, each
   kernel's figure generator, metric, benchmark module, default sweep
   parameters, and reduced-scale behaviour.  ``examples/reproduce_figures.py``,
@@ -35,6 +37,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.applications.eigen import robust_eigenpairs, robust_eigenpairs_batch
 from repro.applications.iir import (
     baseline_iir_filter,
     robust_iir_filter,
@@ -55,11 +58,29 @@ from repro.applications.matching import (
     robust_matching,
     robust_matching_batch,
 )
+from repro.applications.maxflow import (
+    baseline_max_flow,
+    default_maxflow_config,
+    robust_max_flow,
+    robust_max_flow_batch,
+)
+from repro.applications.shortest_path import (
+    baseline_all_pairs_shortest_path,
+    default_apsp_config,
+    robust_all_pairs_shortest_path,
+    robust_all_pairs_shortest_path_batch,
+)
 from repro.applications.sorting import (
     baseline_sort,
     default_sorting_config,
     robust_sort,
     robust_sort_batch,
+)
+from repro.applications.svm import (
+    default_svm_step,
+    robust_svm_train,
+    robust_svm_train_sgd,
+    robust_svm_train_sgd_batch,
 )
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.results import FigureResult, SeriesResult
@@ -69,7 +90,11 @@ from repro.processor.stochastic import StochasticProcessor
 from repro.workloads.generators import (
     random_array,
     random_bipartite_graph,
+    random_flow_network,
     random_least_squares,
+    random_spd_matrix,
+    random_svm_data,
+    random_weighted_graph,
 )
 from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
@@ -93,6 +118,10 @@ __all__ = [
     "matching_trial_functions",
     "cg_least_squares_trial_functions",
     "momentum_trial_functions",
+    "eigen_trial_functions",
+    "maxflow_trial_functions",
+    "apsp_trial_functions",
+    "svm_trial_functions",
 ]
 
 #: Workload seed shared by every figure so results are reproducible.
@@ -391,6 +420,181 @@ def cg_least_squares_trial_functions(
     }
 
 
+def maxflow_trial_functions(
+    network,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The §4.5 max-flow trial functions: penalized LP vs noisy Edmonds–Karp.
+
+    ``series`` maps labels to solver variants (``None`` = the Ford–Fulkerson
+    baseline executed on the noisy FPU).  Robust series batch through
+    :func:`~repro.applications.maxflow.robust_max_flow_batch` — the same
+    masked-batch :func:`~repro.core.transform.solve_penalized_lp_batch` path
+    the matching kernel uses.  The metric is the relative error of the flow
+    value against the exact maximum flow (lower is better).
+    """
+    if series is None:
+        series = {"Base": None, "SGD,SQS": "SGD,SQS", "SGD+AS,SQS": "SGD+AS,SQS"}
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return baseline_max_flow(network, proc).relative_error
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            config = default_maxflow_config(
+                iterations=iterations, variant=variant, network=network
+            )
+            return robust_max_flow(network, proc, config).relative_error
+
+        def run_batch(procs, streams):
+            config = default_maxflow_config(
+                iterations=iterations, variant=variant, network=network
+            )
+            results = robust_max_flow_batch(network, procs, config)
+            return [result.relative_error for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
+def apsp_trial_functions(
+    graph,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """The §4.6 all-pairs shortest-path trial functions: LP vs Floyd–Warshall.
+
+    ``series`` maps labels to solver variants (``None`` = Floyd–Warshall on
+    the noisy FPU).  Robust series batch through
+    :func:`~repro.applications.shortest_path.robust_all_pairs_shortest_path_batch`
+    over the shared masked-batch LP path.  The metric is the mean relative
+    distance error against the exact APSP distances (lower is better).
+    """
+    if series is None:
+        series = {"Base": None, "SGD,SQS": "SGD,SQS", "SGD+AS,SQS": "SGD+AS,SQS"}
+
+    def _base(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return baseline_all_pairs_shortest_path(graph, proc).mean_relative_error
+
+    def _robust(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            config = default_apsp_config(
+                iterations=iterations, variant=variant, graph=graph
+            )
+            return robust_all_pairs_shortest_path(graph, proc, config).mean_relative_error
+
+        def run_batch(procs, streams):
+            config = default_apsp_config(
+                iterations=iterations, variant=variant, graph=graph
+            )
+            results = robust_all_pairs_shortest_path_batch(graph, procs, config)
+            return [result.mean_relative_error for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _base if variant is None else _robust(variant)
+        for label, variant in series.items()
+    }
+
+
+def eigen_trial_functions(
+    M: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, int]] = None,
+) -> Dict[str, TrialFunction]:
+    """The §4.7 eigenpair trial functions: Rayleigh-quotient ascent + deflation.
+
+    ``series`` maps labels to the number of eigenpairs ``k`` extracted by
+    deflation; the default compares the top pair alone against a two-pair
+    deflation run.  Every series batches through
+    :func:`~repro.applications.eigen.robust_eigenpairs_batch` (batched power
+    iterations over per-trial deflated matrices).  The metric is the worst
+    relative eigenvalue error over the ``k`` extracted pairs (lower is
+    better).
+    """
+    if series is None:
+        series = {"Power, k=1": 1, "Power+deflation, k=2": 2}
+    M = np.asarray(M, dtype=np.float64)
+
+    def _make(k: int):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            results = robust_eigenpairs(M, k, proc, iterations=iterations, rng=rng)
+            return max(result.eigenvalue_error for result in results)
+
+        def run_batch(procs, streams):
+            results = robust_eigenpairs_batch(
+                M, k, procs, iterations=iterations, rngs=streams
+            )
+            return [
+                max(result.eigenvalue_error for result in per_trial)
+                for per_trial in results
+            ]
+
+        return batchable(run_batch)(run)
+
+    return {label: _make(k) for label, k in series.items()}
+
+
+def svm_trial_functions(
+    X: np.ndarray,
+    y: np.ndarray,
+    iterations: int,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+    regularization: float = 0.01,
+) -> Dict[str, TrialFunction]:
+    """The §4.7 SVM trial functions: hinge-loss SGD vs the Pegasos trainer.
+
+    ``series`` maps labels to solver variants (``None`` = the per-sample
+    Pegasos trainer, whose data-dependent sampling has no batch tier).
+    Robust series batch through
+    :func:`~repro.applications.svm.robust_svm_train_sgd_batch` (batched
+    full-batch hinge-loss subgradient descent).  The metric is the training
+    accuracy of the learned separator (higher is better).
+    """
+    if series is None:
+        series = {"Base: Pegasos": None, "SGD,LS": "SGD,LS", "SGD+AS,LS": "SGD+AS,LS"}
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    base_step = default_svm_step(X, regularization)
+
+    def _pegasos(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+        return robust_svm_train(
+            X, y, proc, iterations=iterations,
+            regularization=regularization, rng=rng,
+        ).train_accuracy
+
+    def _sgd(variant: str):
+        def run(proc: StochasticProcessor, rng: np.random.Generator) -> float:
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=base_step
+            )
+            return robust_svm_train_sgd(
+                X, y, proc, options=options, regularization=regularization
+            ).train_accuracy
+
+        def run_batch(procs, streams):
+            options = sgd_options_for_variant(
+                variant, iterations=iterations, base_step=base_step
+            )
+            results = robust_svm_train_sgd_batch(
+                X, y, procs, options=options, regularization=regularization
+            )
+            return [result.train_accuracy for result in results]
+
+        return batchable(run_batch)(run)
+
+    return {
+        label: _pegasos if variant is None else _sgd(variant)
+        for label, variant in series.items()
+    }
+
+
 def momentum_trial_functions(
     values: np.ndarray, graph, iterations: int
 ) -> Dict[str, TrialFunction]:
@@ -478,6 +682,55 @@ def momentum_kernel(
     values = random_array(5, rng=seed, min_gap=0.08)
     graph = matching_workload(seed)
     return momentum_trial_functions(values, graph, iterations)
+
+
+def eigen_kernel(
+    iterations: int = 200,
+    matrix_size: int = 8,
+    condition_number: float = 10.0,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, int]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the §4.7 eigenpair workload and its trial functions."""
+    M = random_spd_matrix(matrix_size, rng=seed, condition_number=condition_number)
+    return eigen_trial_functions(M, iterations, series)
+
+
+def maxflow_kernel(
+    iterations: int = 5000,
+    n_nodes: int = 6,
+    n_edges: int = 12,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the §4.5 max-flow workload and its trial functions."""
+    network = random_flow_network(n_nodes, n_edges, rng=seed)
+    return maxflow_trial_functions(network, iterations, series)
+
+
+def apsp_kernel(
+    iterations: int = 5000,
+    n_nodes: int = 5,
+    n_edges: int = 10,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the §4.6 all-pairs shortest-path workload and its trial functions."""
+    graph = random_weighted_graph(n_nodes, n_edges, rng=seed)
+    return apsp_trial_functions(graph, iterations, series)
+
+
+def svm_kernel(
+    iterations: int = 1000,
+    n_samples: int = 60,
+    n_features: int = 5,
+    regularization: float = 0.01,
+    seed: int = WORKLOAD_SEED,
+    series: Optional[Mapping[str, Optional[str]]] = None,
+) -> Dict[str, TrialFunction]:
+    """Build the §4.7 SVM workload and its trial functions."""
+    X, y, _ = random_svm_data(n_samples, n_features, rng=seed)
+    return svm_trial_functions(X, y, iterations, series, regularization=regularization)
 
 
 # --------------------------------------------------------------------------- #
@@ -806,4 +1059,60 @@ register_kernel(KernelSpec(
     y_label="overhead factor",
     benchmark="benchmarks/bench_sec7_overhead.py",
     takes_trials=False,
+))
+register_kernel(KernelSpec(
+    name="eigen",
+    figure="eigen_study",
+    figure_id="Section 4.7 (eigen)",
+    title="Accuracy of eigenpair extraction - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="relative eigenvalue error (lower is better)",
+    benchmark="benchmarks/bench_ext_eigen.py",
+    sweep=True,
+    batched=True,
+    trial_factory=eigen_kernel,
+    paper_iterations=200,
+    min_iterations=50,
+))
+register_kernel(KernelSpec(
+    name="maxflow",
+    figure="maxflow_study",
+    figure_id="Section 4.5",
+    title="Accuracy of Max-Flow - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="relative flow-value error (lower is better)",
+    benchmark="benchmarks/bench_ext_maxflow.py",
+    sweep=True,
+    batched=True,
+    trial_factory=maxflow_kernel,
+    paper_iterations=5000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="apsp",
+    figure="apsp_study",
+    figure_id="Section 4.6",
+    title="Accuracy of All-Pairs Shortest Paths - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="mean relative distance error (lower is better)",
+    benchmark="benchmarks/bench_ext_apsp.py",
+    sweep=True,
+    batched=True,
+    trial_factory=apsp_kernel,
+    paper_iterations=5000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="svm",
+    figure="svm_study",
+    figure_id="Section 4.7 (SVM)",
+    title="SVM training accuracy - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="training accuracy (higher is better)",
+    benchmark="benchmarks/bench_ext_svm.py",
+    sweep=True,
+    batched=True,
+    trial_factory=svm_kernel,
+    paper_iterations=1000,
+    min_iterations=200,
 ))

@@ -25,7 +25,12 @@ The layering, bottom to top:
     Batched solver drivers (scheduled iterations as one tensor loop;
     data-dependent phases fall back per trial).
 ``repro.applications.*_batch``
-    Batch entry points of the hot application kernels.
+    Batch entry points of the hot application kernels — the sweep suite
+    (``robust_sort_batch``, ``robust_least_squares_sgd_batch``,
+    ``robust_least_squares_cg_batch``, ``robust_iir_filter_batch``,
+    ``robust_matching_batch``) and the extension applications
+    (``robust_max_flow_batch``, ``robust_all_pairs_shortest_path_batch``,
+    ``robust_eigenpairs_batch``, ``robust_svm_train_sgd_batch``).
 *this module*
     Trial-batch construction (:func:`make_trial_batch`) and the cell runner
     (:func:`run_tensor_cell`) used by the ``vectorized`` executor.  Batch

@@ -31,12 +31,22 @@ def make_noisy_sum_trial(n: int = 256, ops_per_element: int = 8) -> TrialFunctio
     :func:`corrupt_batch` pass — using each trial's own generator and fault
     rate in the same order as the serial path, so results are bit-identical
     whether the executor batches one (series, rate) cell (``batched``) or a
-    whole series across the rate grid (``vectorized``).
+    whole series across the rate grid (``vectorized``).  A batch whose
+    processors mix datapath dtypes cannot share the fused cast and falls back
+    to per-trial serial execution (still bit-identical).
     """
 
     def run_batch(
         procs: List[StochasticProcessor], streams: List[np.random.Generator]
     ) -> List[float]:
+        if len({proc.dtype for proc in procs}) != 1:
+            # A stacked tensor has one dtype, so a batch mixing datapath
+            # precisions (e.g. float32 and float64 fault models) cannot share
+            # the fused cast below — casting everything with procs[0].dtype
+            # would silently mis-simulate the other trials.  Fall back to the
+            # serial per-trial path, which casts each trial with its own
+            # processor's dtype and is bit-identical by definition.
+            return [trial(proc, stream) for proc, stream in zip(procs, streams)]
         stacked = np.stack([stream.random(n) for stream in streams])
         with np.errstate(over="ignore", invalid="ignore"):
             stacked = stacked.astype(procs[0].dtype)

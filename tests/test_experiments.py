@@ -1,14 +1,17 @@
-"""Tests for the experiment harness (runner, reporting, figure generators).
+"""Tests for the experiment harness (runner, reporting, figure generators)
+and the correctness contract of the on-disk result cache.
 
 Figure generators are exercised at miniature scale so the whole module runs
 in seconds; the benchmark harness runs them at representative scale.
 """
 
 import math
+import threading
 
 import pytest
 
 from repro.experiments import figures
+from repro.experiments.cache import ResultCache, spec_hash
 from repro.experiments.reporting import figure_to_rows, format_figure, save_figure_report
 from repro.experiments.runner import FigureResult, SeriesResult, run_fault_rate_sweep
 
@@ -128,6 +131,29 @@ class TestFigureGenerators:
         figure = figures.figure_6_6(trials=1, fault_rates=(0.0,), shape=(30, 5))
         assert figure.series_named("CG, N=10").values[0][0] < 1e-2
 
+    def test_eigen_study_miniature(self):
+        figure = figures.eigen_study(trials=1, iterations=30, fault_rates=(0.0,))
+        assert {s.name for s in figure.series} == {"Power, k=1", "Power+deflation, k=2"}
+        assert figure.series_named("Power, k=1").values[0][0] < 0.05
+
+    def test_maxflow_study_miniature(self):
+        figure = figures.maxflow_study(trials=1, iterations=200, fault_rates=(0.0,))
+        assert {s.name for s in figure.series} == {"Base", "SGD,SQS", "SGD+AS,SQS"}
+        assert figure.series_named("Base").values[0][0] < 1e-3
+
+    def test_apsp_study_miniature(self):
+        figure = figures.apsp_study(trials=1, iterations=200, fault_rates=(0.0,))
+        assert {s.name for s in figure.series} == {"Base", "SGD,SQS", "SGD+AS,SQS"}
+        assert figure.series_named("Base").values[0][0] < 1e-3
+
+    def test_svm_study_miniature(self):
+        figure = figures.svm_study(
+            trials=1, iterations=60, fault_rates=(0.0,), n_samples=20, n_features=3
+        )
+        names = {s.name for s in figure.series}
+        assert names == {"Base: Pegasos", "SGD,LS", "SGD+AS,LS"}
+        assert figure.series_named("SGD,LS").values[0][0] >= 0.9
+
     def test_flop_cost_comparison(self):
         figure = figures.flop_cost_comparison(shape=(30, 5))
         names = {s.name for s in figure.series}
@@ -141,3 +167,74 @@ class TestFigureGenerators:
         ratios = {s.name: s.values[0][0] for s in figure.series}
         assert ratios["sorting"] > 10.0
         assert ratios["matching"] > 10.0
+
+
+class TestResultCacheCorrectness:
+    """The cache's two correctness contracts: injective keys, atomic stores."""
+
+    def test_spec_hash_distinguishes_value_types(self):
+        """Regression: default=str made a float and its string form collide."""
+        assert spec_hash({"a": 1.0}) != spec_hash({"a": "1.0"})
+        assert spec_hash({"a": [1, 2]}) != spec_hash({"a": "[1, 2]"})
+
+    def test_spec_hash_rejects_non_json_payloads(self):
+        """Regression: objects with equal str() silently hashed identically."""
+
+        class Opaque:
+            def __str__(self):
+                return "same"
+
+        with pytest.raises(TypeError, match="not strictly JSON-serializable"):
+            spec_hash({"a": Opaque()})
+        # NaN has no strict JSON form either (json would emit non-standard
+        # text); payloads must convert it explicitly.
+        with pytest.raises(ValueError, match="not strictly JSON-serializable"):
+            spec_hash({"a": float("nan")})
+
+    def test_spec_hash_accepts_figure_cache_payloads(self):
+        """Every registered kernel's cache payload must stay hashable."""
+        from repro.experiments import kernels
+
+        for spec in kernels.list_kernels():
+            payload = {
+                "figure": spec.figure,
+                "params": spec.cache_params(spec.reduced_kwargs(3, 0.25)),
+            }
+            assert len(spec_hash(payload)) == 64, spec.name
+
+    def test_concurrent_stores_of_one_entry_never_publish_corruption(self, tmp_path):
+        """Regression: a shared .tmp path let two writers interleave writes.
+
+        Many threads repeatedly store the same spec while a reader keeps
+        loading it; with per-writer tmp files every observed entry is a
+        complete, loadable figure.
+        """
+        cache = ResultCache(tmp_path)
+        key = {"figure": "demo", "trials": 3}
+        figure = FigureResult(
+            "F", "t" * 512, "x", "y",
+            series=[SeriesResult(name="s", fault_rates=[0.0], values=[[1.0]])],
+        )
+        errors = []
+
+        def writer():
+            for _ in range(25):
+                cache.store(key, figure)
+
+        def reader():
+            for _ in range(100):
+                loaded = cache.load(key)
+                if loaded is not None and loaded.title != figure.title:
+                    errors.append("torn read")
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = cache.load(key)
+        assert final is not None and final.title == figure.title
+        # No per-writer tmp files may be left behind.
+        assert not list(tmp_path.glob("*.tmp"))

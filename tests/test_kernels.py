@@ -27,6 +27,10 @@ class TestRegistryContents:
             "momentum",
             "flop_costs",
             "overhead",
+            "eigen",
+            "maxflow",
+            "apsp",
+            "svm",
         ]
 
     def test_batched_tier_covers_the_sweep_suite(self):
@@ -39,6 +43,10 @@ class TestRegistryContents:
             "matching_enhancements",
             "cg_least_squares",
             "momentum",
+            "eigen",
+            "maxflow",
+            "apsp",
+            "svm",
         }
         assert {spec.name for spec in kernels.sweep_kernels()} == batched
 
@@ -77,6 +85,26 @@ class TestCapabilityDispatch:
         functions = kernels.momentum_kernel(iterations=10)
         assert all(kernels.is_batchable(fn) for fn in functions.values())
 
+    def test_extension_factories_declare_expected_batch_tiers(self):
+        functions = kernels.maxflow_kernel(iterations=10)
+        assert not kernels.is_batchable(functions["Base"])
+        assert kernels.is_batchable(functions["SGD,SQS"])
+        assert kernels.is_batchable(functions["SGD+AS,SQS"])
+
+        functions = kernels.apsp_kernel(iterations=10)
+        assert not kernels.is_batchable(functions["Base"])
+        assert kernels.is_batchable(functions["SGD,SQS"])
+
+        # Every eigen series batches; the SVM Pegasos baseline cannot (its
+        # per-sample control flow is data-dependent) but the SGD series do.
+        functions = kernels.eigen_kernel(iterations=10, matrix_size=4)
+        assert all(kernels.is_batchable(fn) for fn in functions.values())
+
+        functions = kernels.svm_kernel(iterations=10, n_samples=12, n_features=3)
+        assert not kernels.is_batchable(functions["Base: Pegasos"])
+        assert kernels.is_batchable(functions["SGD,LS"])
+        assert kernels.is_batchable(functions["SGD+AS,LS"])
+
     def test_batchable_decorator_attaches_implementation(self):
         def run_batch(procs, streams):
             return [0.0 for _ in procs]
@@ -112,13 +140,31 @@ class TestKernelSpecDerivations:
         # The energy search trims one trial; the text tables take none.
         assert kernels.get_kernel("energy").reduced_kwargs(3, 0.25) == {"trials": 2}
         assert kernels.get_kernel("flop_costs").reduced_kwargs(3, 0.25) == {}
+        # The extension kernels scale their own budgets with their own floors.
+        assert kernels.get_kernel("eigen").reduced_kwargs(3, 0.25) == {
+            "trials": 3,
+            "iterations": 50,
+        }
+        assert kernels.get_kernel("maxflow").reduced_kwargs(3, 0.25) == {
+            "trials": 3,
+            "iterations": 1250,
+        }
+        assert kernels.get_kernel("apsp").reduced_kwargs(3, 0.25) == {
+            "trials": 3,
+            "iterations": 1250,
+        }
+        assert kernels.get_kernel("svm").reduced_kwargs(3, 0.25) == {
+            "trials": 3,
+            "iterations": 250,
+        }
 
     def test_paper_scale_matches_each_generators_documented_defaults(self):
         """scale=1.0 must reproduce the paper budgets the docstrings state."""
         import inspect
 
         for name in ("sorting", "least_squares_sgd", "iir", "matching",
-                     "matching_enhancements", "momentum"):
+                     "matching_enhancements", "momentum",
+                     "eigen", "maxflow", "apsp", "svm"):
             spec = kernels.get_kernel(name)
             kwargs = spec.reduced_kwargs(5, 1.0)
             default = inspect.signature(spec.builder()).parameters["iterations"].default

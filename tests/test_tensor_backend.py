@@ -10,6 +10,7 @@ fault rates (including zero).  These tests pin that contract at each layer.
 import numpy as np
 import pytest
 
+from repro.applications.eigen import robust_eigenpairs, robust_eigenpairs_batch
 from repro.applications.iir import robust_iir_filter, robust_iir_filter_batch
 from repro.applications.least_squares import (
     default_least_squares_step,
@@ -23,22 +24,40 @@ from repro.applications.matching import (
     robust_matching,
     robust_matching_batch,
 )
+from repro.applications.maxflow import (
+    default_maxflow_config,
+    robust_max_flow,
+    robust_max_flow_batch,
+)
+from repro.applications.shortest_path import (
+    default_apsp_config,
+    robust_all_pairs_shortest_path,
+    robust_all_pairs_shortest_path_batch,
+)
 from repro.applications.sorting import (
     default_sorting_config,
     robust_sort,
     robust_sort_batch,
 )
+from repro.applications.svm import (
+    robust_svm_train_sgd,
+    robust_svm_train_sgd_batch,
+)
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.executors import AutoExecutor, VectorizedExecutor
 from repro.experiments.kernels import (
+    apsp_trial_functions,
     batchable,
     batchable_series,
     cg_least_squares_trial_functions,
+    eigen_trial_functions,
     iir_trial_functions,
     is_batchable,
+    maxflow_trial_functions,
     momentum_trial_functions,
     sorting_trial_functions,
+    svm_trial_functions,
 )
 from repro.experiments.spec import SweepSpec
 from repro.experiments.tensor import make_trial_batch, run_tensor_cell
@@ -57,7 +76,11 @@ from repro.processor.stochastic import StochasticProcessor
 from repro.workloads.generators import (
     random_array,
     random_bipartite_graph,
+    random_flow_network,
     random_least_squares,
+    random_spd_matrix,
+    random_svm_data,
+    random_weighted_graph,
 )
 from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
@@ -325,6 +348,80 @@ class TestApplicationBatchPaths:
             assert v.flops == s.flops
             assert v.faults_injected == s.faults_injected
 
+    @pytest.mark.parametrize("variant", ["SGD,SQS", "SGD+AS,SQS"])
+    def test_robust_max_flow_batch_matches_serial(self, variant):
+        network = random_flow_network(6, 12, rng=2010)
+        config = default_maxflow_config(iterations=60, variant=variant, network=network)
+        serial = [robust_max_flow(network, proc, config) for proc in make_procs()]
+        batched = robust_max_flow_batch(network, make_procs(), config)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.flow, s.flow)
+            assert v.flow_value == s.flow_value
+            assert v.relative_error == s.relative_error
+            assert v.feasible == s.feasible
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
+    @pytest.mark.parametrize("variant", ["SGD,SQS", "SGD+AS,SQS"])
+    def test_robust_apsp_batch_matches_serial(self, variant):
+        graph = random_weighted_graph(5, 10, rng=2010)
+        config = default_apsp_config(iterations=60, variant=variant, graph=graph)
+        serial = [
+            robust_all_pairs_shortest_path(graph, proc, config)
+            for proc in make_procs()
+        ]
+        batched = robust_all_pairs_shortest_path_batch(graph, make_procs(), config)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.distances, s.distances)
+            assert v.mean_relative_error == s.mean_relative_error
+            assert v.max_relative_error == s.max_relative_error
+            assert v.success == s.success
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_robust_eigenpairs_batch_matches_serial(self, k):
+        """Batched power/deflation iterations are bit-identical per pair.
+
+        The 50 % fault-rate trial exercises the fused corruption path hard;
+        deflation makes the iterated matrix per-trial after the first pair,
+        so k=2 pins the per-trial-matrix stacked product too.
+        """
+        M = random_spd_matrix(6, rng=2010)
+        serial = [
+            robust_eigenpairs(M, k, proc, iterations=40, rng=np.random.default_rng([3, t]))
+            for t, proc in enumerate(make_procs())
+        ]
+        batched = robust_eigenpairs_batch(
+            M, k, make_procs(), iterations=40,
+            rngs=[np.random.default_rng([3, t]) for t in range(len(MIXED_RATES))],
+        )
+        for s_pairs, v_pairs in zip(serial, batched):
+            assert len(v_pairs) == len(s_pairs) == k
+            for s, v in zip(s_pairs, v_pairs):
+                np.testing.assert_array_equal(v.eigenvector, s.eigenvector)
+                assert v.eigenvalue == s.eigenvalue
+                assert v.eigenvalue_error == s.eigenvalue_error
+                assert v.eigenvector_alignment == s.eigenvector_alignment
+                assert v.flops == s.flops
+                assert v.faults_injected == s.faults_injected
+
+    @pytest.mark.parametrize("variant", ["SGD,LS", "SGD+AS,LS"])
+    def test_robust_svm_sgd_batch_matches_serial(self, variant):
+        X, y, _ = random_svm_data(40, 4, rng=2010)
+        options = sgd_options_for_variant(variant, iterations=40, base_step=0.05)
+        serial = [
+            robust_svm_train_sgd(X, y, proc, options=options)
+            for proc in make_procs()
+        ]
+        batched = robust_svm_train_sgd_batch(X, y, make_procs(), options=options)
+        for s, v in zip(serial, batched):
+            np.testing.assert_array_equal(v.weights, s.weights)
+            assert v.train_accuracy == s.train_accuracy
+            assert v.objective == s.objective
+            assert v.flops == s.flops
+            assert v.faults_injected == s.faults_injected
+
 
 def sorting_sweep(trials=3, iterations=40, rates=(0.0, 0.01, 0.1)):
     values = random_array(4, rng=2010, min_gap=0.08)
@@ -448,6 +545,83 @@ class TestNewlyBatchedKernelSweeps:
         serial = ExperimentEngine("serial").run_sweep(sweep())
         auto = ExperimentEngine("auto").run_sweep(sweep())
         assert [s.values for s in auto] == [s.values for s in serial]
+
+    def test_extension_kernel_sweeps_bit_identical_to_serial(self):
+        """§4.5–§4.7 shaped sweeps (max-flow, APSP, eigen, SVM): vectorized == serial."""
+        def sweeps():
+            network = random_flow_network(5, 8, rng=2010)
+            graph = random_weighted_graph(4, 8, rng=2010)
+            M = random_spd_matrix(5, rng=2010)
+            X, y, _ = random_svm_data(20, 3, rng=2010)
+            return [
+                SweepSpec(
+                    maxflow_trial_functions(
+                        network, iterations=30, series={"SGD,SQS": "SGD,SQS"}
+                    ),
+                    fault_rates=(0.0, 0.1), trials=2, seed=2010,
+                ),
+                SweepSpec(
+                    apsp_trial_functions(
+                        graph, iterations=30, series={"SGD,SQS": "SGD,SQS"}
+                    ),
+                    fault_rates=(0.0, 0.1), trials=2, seed=2010,
+                ),
+                SweepSpec(
+                    eigen_trial_functions(M, iterations=20),
+                    fault_rates=(0.0, 0.3), trials=2, seed=2010,
+                ),
+                SweepSpec(
+                    svm_trial_functions(X, y, iterations=20),
+                    fault_rates=(0.0, 0.1), trials=2, seed=2010,
+                ),
+            ]
+
+        for serial_sweep, fast_sweep in zip(sweeps(), sweeps()):
+            serial = ExperimentEngine("serial").run_sweep(serial_sweep)
+            vectorized = ExperimentEngine("vectorized").run_sweep(fast_sweep)
+            assert [s.values for s in vectorized] == [s.values for s in serial]
+            assert [s.name for s in vectorized] == [s.name for s in serial]
+
+
+class TestMixedDtypeBatches:
+    """A batch mixing datapath dtypes must not be cast with procs[0].dtype."""
+
+    @staticmethod
+    def _mixed_procs():
+        models = ["leon3-fpu", "double-precision", "leon3-fpu", "double-precision"]
+        return [
+            StochasticProcessor(
+                fault_rate=0.2, fault_model=model, rng=np.random.default_rng([11, i])
+            )
+            for i, model in enumerate(models)
+        ]
+
+    @staticmethod
+    def _streams():
+        return [np.random.default_rng([7, i]) for i in range(4)]
+
+    def test_noisy_sum_run_batch_mixed_dtypes_matches_serial(self):
+        """Regression: the fused cast used procs[0].dtype for the whole stack,
+        silently simulating the float64 trials on a float32 datapath."""
+        trial = make_noisy_sum_trial(n=32, ops_per_element=4)
+        serial = [
+            trial(proc, stream)
+            for proc, stream in zip(self._mixed_procs(), self._streams())
+        ]
+        batched = trial.run_batch(self._mixed_procs(), self._streams())
+        assert batched == serial
+
+    def test_mixed_dtype_fallback_preserves_counters(self):
+        trial = make_noisy_sum_trial(n=16, ops_per_element=2)
+        serial_procs = self._mixed_procs()
+        for proc, stream in zip(serial_procs, self._streams()):
+            trial(proc, stream)
+        batch_procs = self._mixed_procs()
+        trial.run_batch(batch_procs, self._streams())
+        assert [p.flops for p in batch_procs] == [p.flops for p in serial_procs]
+        assert [p.faults_injected for p in batch_procs] == [
+            p.faults_injected for p in serial_procs
+        ]
 
 
 class TestTensorHelpers:
