@@ -1,0 +1,57 @@
+"""Scenario-grid studies — cross-fault-model and voltage operating points.
+
+These benchmarks regenerate the ScenarioGrid studies at reduced scale: the
+cross-model comparisons run the sorting / least-squares / matching kernels
+under several fault-model scenarios at once, and the voltage studies sweep
+the supply voltage through the Figure 5.2 curve.  The qualitative claims
+checked are the study's reasons to exist: mild (low-order-only) fault
+scenarios are easier than the nominal bimodal model, and solution quality
+degrades monotonically-ish as the voltage is overscaled.
+"""
+
+from benchmarks.conftest import run_kernel_benchmark
+
+
+def test_sorting_cross_model_grid(benchmark, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "sorting_cross_model",
+        trials=3, iterations=2000,
+        scenarios=("nominal", "measured-bits", "low-order-seu"),
+        fault_rates=(0.05, 0.2),
+        engine=auto_engine,
+    )
+    robust_nominal = figure.series_named("SGD+AS,SQS @ nominal").success_rates()
+    robust_mild = figure.series_named("SGD+AS,SQS @ low-order-seu").success_rates()
+    base_mild = figure.series_named("Base @ low-order-seu").success_rates()
+    # Low-order-only faults only nudge values slightly, so both the robust
+    # solver and even the baseline handle them at least as well as the
+    # nominal bimodal model's high-magnitude corruptions.
+    assert sum(robust_mild) >= sum(robust_nominal) - 1e-9
+    assert base_mild[0] >= 0.5
+    assert robust_nominal[0] >= 0.5
+
+
+def test_least_squares_voltage_grid(benchmark, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "least_squares_voltage",
+        trials=3, iterations=500, voltages=(0.90, 0.75, 0.65),
+        engine=auto_engine,
+    )
+    robust = figure.series_named("SGD+AS,LS").means()
+    base = figure.series_named("Base: SVD").means()
+    # Near-nominal voltage both solvers are accurate; at deep overscaling the
+    # fragile SVD baseline degrades far more than the robust SGD solver.
+    assert base[0] < 1e-3 and robust[0] < 1e-1
+    assert base[-1] > robust[-1]
+
+
+def test_matching_voltage_grid(benchmark, auto_engine):
+    figure = run_kernel_benchmark(
+        benchmark, "matching_voltage",
+        trials=3, iterations=2000, voltages=(0.85, 0.70),
+        engine=auto_engine,
+    )
+    robust = figure.series_named("SGD+AS,SQS").success_rates()
+    # At 0.85 V the error rate is ~1e-6: matching must essentially always
+    # succeed; the 0.70 V point (~1e-2 errors/FLOP) is the interesting one.
+    assert robust[0] == 1.0

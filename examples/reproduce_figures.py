@@ -15,11 +15,18 @@ cached tables instead of recomputing.
 Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
           [--executor {serial,process,batched,vectorized,auto}] [--workers N]
           [--only NAME [--only NAME ...]] [--trials N]
+          [--grid] [--scenario NAME [--scenario NAME ...]]
           [--cache-dir DIR | --no-cache] [--refresh] [--progress]
 
 ``--only`` accepts registry kernel names (``sorting``, ``cg_least_squares``,
 ...; see ``--list``) or the historical figure generator names
 (``figure_6_1``, ...).
+
+``--grid`` runs the selected sweep kernels as **scenario-grid studies**
+instead of their stock figures: each kernel's series line-up is crossed with
+the scenario presets chosen via ``--scenario`` (default: the cross-model
+comparison set; see ``--list-scenarios``), through the same engine, executor,
+and cache as every other figure.
 """
 
 import argparse
@@ -28,7 +35,9 @@ from pathlib import Path
 
 from repro.experiments import kernels
 from repro.experiments.engine import ExperimentEngine
+from repro.experiments.figures import DEFAULT_CROSS_MODEL_SCENARIOS
 from repro.experiments.reporting import format_figure, save_figure_report
+from repro.experiments.scenarios import get_scenario, list_scenarios
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the registered kernels and exit")
     parser.add_argument("--trials", type=int, default=None,
                         help="override the per-point trial count")
+    parser.add_argument("--grid", action="store_true",
+                        help="run the selected sweep kernels as scenario-grid "
+                        "studies over the --scenario presets")
+    parser.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                        help="scenario preset for --grid (repeatable; default: "
+                        "the cross-model comparison set)")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list the registered scenario presets and exit")
     parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
                         help="figure cache directory (default: .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
@@ -81,9 +98,32 @@ def select_kernels(only) -> list:
     return selected
 
 
+def resolve_scenarios(names):
+    """Resolve ``--scenario`` names (or the default set) against the registry."""
+    chosen = names if names else list(DEFAULT_CROSS_MODEL_SCENARIOS)
+    try:
+        return [get_scenario(name) for name in chosen]
+    except KeyError as error:
+        raise SystemExit(f"{error.args[0]}")
+
+
 def main() -> None:
     parser = build_parser()
     args = parser.parse_args()
+    if args.list_scenarios:
+        for name in list_scenarios():
+            scenario = get_scenario(name)
+            pin = ""
+            if scenario.voltage is not None:
+                pin = f" @ {scenario.voltage:g} V"
+            elif scenario.fault_rate is not None:
+                pin = f" @ rate {scenario.fault_rate:g}"
+            model = scenario.fault_model if isinstance(scenario.fault_model, str) \
+                else scenario.fault_model.name
+            print(f"{name:20s} {model:20s}{pin:14s} {scenario.description}")
+        return
+    if args.scenario and not args.grid:
+        parser.error("--scenario requires --grid")
     if args.list:
         for spec in kernels.list_kernels():
             tags = []
@@ -113,10 +153,55 @@ def main() -> None:
         progress=progress if args.progress else None,
     )
 
+    if args.grid:
+        from repro.experiments.spec import DEFAULT_FAULT_RATES
+
+        scenarios = resolve_scenarios(args.scenario)
+        selected = select_kernels(args.only)
+        if args.only is None:
+            # The registered scenario-study kernels are excluded by default:
+            # wrapping a scenario study in another ad-hoc grid would
+            # recompute the same workload under a second key.
+            selected = [
+                spec for spec in selected
+                if spec.sweep and not spec.scenario_study
+            ]
+        for spec in selected:
+            if not spec.sweep or spec.scenario_study:
+                reason = ("already a scenario study" if spec.scenario_study
+                          else "not sweep-shaped, no scenario study")
+                print(f"[skip] {spec.name}: {reason}", file=sys.stderr)
+                continue
+            kwargs = spec.reduced_kwargs(trials, scale)
+            grid_trials = kwargs.pop("trials", trials)
+            # The key must record the rate grid the study actually runs
+            # (build_scenario_study's own default), not whatever rate
+            # parameters the kernel's stock figure builder happens to have.
+            key = {
+                "figure": spec.figure,
+                "grid": [scenario.fingerprint() for scenario in scenarios],
+                "fault_rates": list(DEFAULT_FAULT_RATES),
+                "params": spec.cache_params(dict(kwargs, trials=grid_trials)),
+            }
+            figure = engine.run_figure(
+                key,
+                lambda: spec.build_scenario_study(
+                    scenarios, trials=grid_trials,
+                    fault_rates=DEFAULT_FAULT_RATES, engine=engine, **kwargs
+                ),
+                refresh=args.refresh,
+            )
+            text = format_figure(figure, use_success_rate=spec.use_success_rate)
+            print("\n" + text)
+            if args.output is not None:
+                save_figure_report(figure, args.output / f"{spec.figure}__grid.txt",
+                                   use_success_rate=spec.use_success_rate)
+        return
+
     for spec in select_kernels(args.only):
         kwargs = spec.reduced_kwargs(trials, scale)
         key = {"figure": spec.figure, "params": spec.cache_params(kwargs)}
-        if spec.sweep:
+        if spec.takes_engine:
             kwargs = dict(kwargs, engine=engine)
         figure = engine.run_figure(
             key, lambda: spec.build(**kwargs), refresh=args.refresh

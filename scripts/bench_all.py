@@ -19,6 +19,12 @@ Sweep kernels run twice — once under the ``serial`` reference executor and
 once under ``vectorized`` (the tensorized trial backend) — and the two series
 sets must match bit for bit; the record stores both wall times and their
 ratio.  Non-sweep kernels run once and record wall time only.
+
+The pseudo-kernel name ``scenario_grid`` (run by default, or selectable via
+``--only scenario_grid``) additionally benchmarks the ScenarioGrid path: a
+cross-fault-model sorting grid executed under the serial, batched, and
+vectorized executors, recorded as ``BENCH_scenario_grid.json`` with the
+batched-tier speedups and a bit-identity verdict.
 """
 
 from __future__ import annotations
@@ -33,8 +39,13 @@ from pathlib import Path
 
 from repro.experiments import kernels
 from repro.experiments.engine import ExperimentEngine
+from repro.experiments.runner import run_scenario_grid
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Scenario presets of the BENCH_scenario_grid record (one float64 scenario,
+#: so the record also covers mixed-dtype sub-batching).
+GRID_SCENARIOS = ("nominal", "measured-bits", "low-order-seu", "double-precision-64")
 
 
 def commit_hash() -> str | None:
@@ -106,11 +117,65 @@ def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
     return record
 
 
+def bench_scenario_grid(args) -> dict:
+    """Time the scenario-grid path: serial vs batched vs vectorized.
+
+    Runs a cross-fault-model sorting grid (two series × four scenarios ×
+    the default rate grid) under all three tiers; the batched tiers must be
+    bit-identical to the serial reference and the record captures their
+    speedups.
+    """
+    iterations = max(int(10000 * args.scale), 500)
+    functions = kernels.sorting_kernel(
+        iterations=iterations,
+        series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"},
+    )
+
+    def timed(executor: str):
+        start = time.perf_counter()
+        series = run_scenario_grid(
+            functions, GRID_SCENARIOS, trials=args.trials,
+            seed=kernels.WORKLOAD_SEED, engine=ExperimentEngine(executor),
+        )
+        return [s.values for s in series], time.perf_counter() - start
+
+    serial_values, serial_seconds = timed("serial")
+    batched_values, batched_seconds = timed("batched")
+    vectorized_values, vectorized_seconds = timed("vectorized")
+    identical = serial_values == batched_values == vectorized_values
+    return {
+        "kernel": "scenario_grid",
+        "figure": "run_scenario_grid",
+        "figure_id": "ScenarioGrid (sorting cross-model)",
+        "params": {
+            "scenarios": list(GRID_SCENARIOS),
+            "series": ["Base", "SGD+AS,SQS"],
+            "trials": args.trials,
+            "iterations": iterations,
+        },
+        "sweep": True,
+        "batched": True,
+        "commit": commit_hash(),
+        "generated_by": "scripts/bench_all.py",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "wall_seconds": round(vectorized_seconds, 4),
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup_vs_serial": round(serial_seconds / max(vectorized_seconds, 1e-9), 3),
+        "batched_speedup_vs_serial": round(
+            serial_seconds / max(batched_seconds, 1e-9), 3
+        ),
+        "bit_identical_to_serial": identical,
+    }
+
+
 def main() -> int:
     args = build_parser().parse_args()
+    grid_requested = args.only is None or "scenario_grid" in args.only
     if args.only:
+        names = [name for name in args.only if name != "scenario_grid"]
         try:
-            specs = [kernels.get_kernel(name) for name in args.only]
+            specs = [kernels.get_kernel(name) for name in names]
         except KeyError as error:
             raise SystemExit(str(error))
     else:
@@ -118,6 +183,20 @@ def main() -> int:
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     failures = []
+    if grid_requested:
+        print("[bench_all] scenario_grid (ScenarioGrid path) ...", flush=True)
+        record = bench_scenario_grid(args)
+        path = args.output_dir / "BENCH_scenario_grid.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+        print(
+            f"  serial {record['serial_seconds']:.2f}s, batched "
+            f"{record['batched_seconds']:.2f}s (x{record['batched_speedup_vs_serial']:.2f}), "
+            f"vectorized {record['wall_seconds']:.2f}s "
+            f"(x{record['speedup_vs_serial']:.2f}), bit-identity {verdict}"
+        )
+        if not record["bit_identical_to_serial"]:
+            failures.append("scenario_grid")
     for spec in specs:
         print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
         record = bench_kernel(spec, args)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI smoke test for the ScenarioGrid path.
+
+Runs a tiny 2-scenario × 2-rate grid on the sorting kernel through the
+serial, process, and batched executors (plus the tensorized ``vectorized``
+tier) and asserts that every executor produces bit-identical series — the
+ScenarioGrid counterpart of the engine's executor-equivalence contract.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/smoke_scenario_grid.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.kernels import sorting_kernel
+from repro.experiments.runner import run_scenario_grid
+
+SCENARIOS = ("nominal", "low-order-seu")
+FAULT_RATES = (0.05, 0.2)
+EXECUTORS = ("serial", "process", "batched", "vectorized")
+
+
+def main() -> int:
+    functions = sorting_kernel(
+        iterations=500, series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
+    )
+    results = {}
+    for executor in EXECUTORS:
+        series = run_scenario_grid(
+            functions,
+            SCENARIOS,
+            fault_rates=FAULT_RATES,
+            trials=2,
+            seed=2010,
+            engine=ExperimentEngine(executor),
+        )
+        results[executor] = [(s.name, s.fault_rates, s.values) for s in series]
+        print(f"[smoke] {executor:10s} -> {len(series)} series ok", flush=True)
+
+    reference = results["serial"]
+    mismatches = [name for name in EXECUTORS[1:] if results[name] != reference]
+    if mismatches:
+        print(f"[smoke] BIT-IDENTITY FAILURES vs serial: {mismatches}", file=sys.stderr)
+        return 1
+    names = [entry[0] for entry in reference]
+    expected = [
+        f"{series} @ {scenario}"
+        for series in ("Base", "SGD+AS,SQS")
+        for scenario in SCENARIOS
+    ]
+    if names != expected:
+        print(f"[smoke] unexpected series layout: {names}", file=sys.stderr)
+        return 1
+    print("[smoke] scenario grid bit-identical across serial/process/batched/vectorized")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,13 @@ Figure    Generator
 §7        :func:`repro.experiments.figures.overhead_table`
 ========  ==========================================================
 
+Beyond the paper's own figures, the suite ships **scenario-grid studies**
+(cross-fault-model and voltage-vs-quality comparisons for sorting, least
+squares, and matching: :func:`~repro.experiments.figures.sorting_scenario_study`,
+:func:`~repro.experiments.figures.matching_voltage_study`, ...) built on the
+scenario axis of :class:`~repro.experiments.spec.SweepSpec` — see
+:mod:`repro.experiments.scenarios` and ``docs/scenarios.md``.
+
 Each generator returns a :class:`repro.experiments.results.FigureResult` whose
 series can be printed with :func:`repro.experiments.reporting.format_figure`.
 The ``trials`` / ``iterations`` arguments default to laptop-scale settings;
@@ -61,12 +68,20 @@ from repro.experiments.kernels import (
 )
 from repro.experiments.cache import ResultCache, spec_hash
 from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.scenarios import (
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_series_name,
+    voltage_scenario,
+)
 from repro.experiments.spec import (
     DEFAULT_FAULT_RATES,
     SweepSpec,
     TrialSpec,
 )
-from repro.experiments.runner import run_fault_rate_sweep
+from repro.experiments.runner import run_fault_rate_sweep, run_scenario_grid
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
 from repro.experiments import figures
 from repro.experiments import kernels
@@ -96,7 +111,14 @@ __all__ = [
     "spec_hash",
     "FigureResult",
     "SeriesResult",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_series_name",
+    "voltage_scenario",
     "run_fault_rate_sweep",
+    "run_scenario_grid",
     "DEFAULT_FAULT_RATES",
     "format_figure",
     "figure_to_rows",

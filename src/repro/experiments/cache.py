@@ -3,9 +3,11 @@
 A cache entry is one JSON file named after the SHA-256 of its canonicalized
 key payload.  The payload is an arbitrary JSON-serializable mapping supplied
 by the caller — for figure reproductions it combines the sweep fingerprint
-(series, rates, trials, seed, fault model) with the figure's workload
-parameters — so any change to the spec changes the hash and invalidates the
-entry, while re-running an unchanged spec is a cheap file read.  Executor
+(series, rates, trials, seed, fault model, and for scenario grids every
+scenario's resolved configuration: model name, dtype, the full bit-position
+pmf, pinned rate or voltage) with the figure's workload parameters — so any
+change to the spec changes the hash and invalidates the entry, while
+re-running an unchanged spec is a cheap file read.  Executor
 choice is deliberately *not* part of the key: executors are bit-identical by
 contract, so a figure computed by the process pool satisfies a later serial
 request.

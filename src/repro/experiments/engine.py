@@ -105,10 +105,15 @@ class ExperimentEngine:
     def run_sweep(self, sweep: SweepSpec) -> List[SeriesResult]:
         """Execute a sweep plan and assemble per-series results.
 
-        The returned series mirror the historical serial sweep exactly: one
-        :class:`SeriesResult` per trial function, values indexed by
-        ``[rate_index][trial_index]``, independent of the executor and of
-        completion order.
+        For single-axis sweeps the returned series mirror the historical
+        serial sweep exactly: one :class:`SeriesResult` per trial function,
+        values indexed by ``[rate_index][trial_index]``, independent of the
+        executor and of completion order.  For scenario grids
+        (``sweep.scenarios`` set) there is one series per (trial function,
+        scenario) pair — series-major, then scenario — named
+        ``"<series> @ <scenario>"``, with ``fault_rates`` holding each grid
+        point's *effective* rate under that scenario (voltage- or rate-pinned
+        scenarios repeat their pinned rate).
         """
         specs = sweep.expand()
         emit = self._make_emitter(sweep, specs) if self.progress is not None else None
@@ -125,12 +130,15 @@ class ExperimentEngine:
 
         def emit(index: int, value: float) -> None:
             spec = specs[index]
-            cell = (spec.series_index, spec.rate_index)
+            cell = (spec.series_index, spec.scenario_index, spec.rate_index)
             cell_counts[cell] = cell_counts.get(cell, 0) + 1
             state["done"] += 1
+            name = spec.series_name
+            if spec.scenario_name:
+                name = f"{name} @ {spec.scenario_name}"
             progress(
                 ProgressEvent(
-                    series_name=spec.series_name,
+                    series_name=name,
                     fault_rate=spec.fault_rate,
                     completed=cell_counts[cell],
                     total=sweep.trials,
@@ -145,14 +153,31 @@ class ExperimentEngine:
     def _assemble(
         sweep: SweepSpec, specs: Sequence[TrialSpec], values: Sequence[float]
     ) -> List[SeriesResult]:
-        results = [
-            SeriesResult(name=name, fault_rates=list(sweep.fault_rates))
-            for name in sweep.series_names
-        ]
-        for series in results:
-            series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
+        if sweep.scenarios is None:
+            results = [
+                SeriesResult(name=name, fault_rates=list(sweep.fault_rates))
+                for name in sweep.series_names
+            ]
+            for series in results:
+                series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
+            for spec, value in zip(specs, values):
+                results[spec.series_index].values[spec.rate_index][spec.trial_index] = float(value)
+            return results
+        from repro.experiments.scenarios import scenario_series_name
+
+        n_scenarios = len(sweep.scenarios)
+        results = []
+        for name in sweep.series_names:
+            for scenario in sweep.scenarios:
+                series = SeriesResult(
+                    name=scenario_series_name(name, scenario),
+                    fault_rates=sweep.scenario_rates(scenario),
+                )
+                series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
+                results.append(series)
         for spec, value in zip(specs, values):
-            results[spec.series_index].values[spec.rate_index][spec.trial_index] = float(value)
+            series = results[spec.series_index * n_scenarios + spec.scenario_index]
+            series.values[spec.rate_index][spec.trial_index] = float(value)
         return results
 
     # ------------------------------------------------------------------ #

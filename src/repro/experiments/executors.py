@@ -196,12 +196,13 @@ class ProcessExecutor(Executor):
 # Batched executor
 # --------------------------------------------------------------------------- #
 class BatchedExecutor(Executor):
-    """Vectorizing executor: one call per (series, fault-rate) trial batch.
+    """Vectorizing executor: one call per (series, scenario, fault-rate) batch.
 
     Trial functions decorated with
     :func:`~repro.experiments.kernels.batchable` run their whole batch in one
     vectorized call; undecorated functions run per-trial, identically to the
-    serial executor.
+    serial executor.  Scenario grids are split into per-scenario sub-batches
+    so every batch shares one datapath configuration.
     """
 
     name = "batched"
@@ -212,9 +213,14 @@ class BatchedExecutor(Executor):
         specs: Sequence[TrialSpec],
         emit: Optional[EmitFunction] = None,
     ) -> List[float]:
-        cells: Dict[Tuple[int, int], List[Tuple[int, TrialSpec]]] = {}
+        cells: Dict[Tuple, List[Tuple[int, TrialSpec]]] = {}
         for index, spec in enumerate(specs):
-            cells.setdefault((spec.series_index, spec.rate_index), []).append((index, spec))
+            # Scenario grids may mix fault models / dtypes / voltages across
+            # trials; a batch must stay within one scenario so its processors
+            # share a datapath configuration.  Single-axis sweeps have
+            # scenario_index None throughout, so the grouping is unchanged.
+            cell_key = (spec.series_index, spec.scenario_index, spec.rate_index)
+            cells.setdefault(cell_key, []).append((index, spec))
         values: List[Optional[float]] = [None] * len(specs)
         for cell in cells.values():
             function = sweep.trial_functions[cell[0][1].series_name]
@@ -244,7 +250,7 @@ class BatchedExecutor(Executor):
 
 
 class VectorizedExecutor(Executor):
-    """The tensorized executor: one batch per series, spanning all rates.
+    """The tensorized executor: one batch per (series, scenario), all rates.
 
     For a series whose trial function declares a batch implementation
     (:func:`~repro.experiments.kernels.batch_implementation`), the entire
@@ -252,8 +258,10 @@ class VectorizedExecutor(Executor):
     :func:`repro.experiments.tensor.run_tensor_cell` call — a single stacked
     numpy computation over a
     :class:`~repro.processor.batch.ProcessorBatch` whose rows carry their own
-    fault rates.  Series without a batch implementation run per-trial,
-    identically to the serial executor.
+    fault rates.  A scenario grid runs one such tensorized sub-batch per
+    scenario (a batch must share one datapath dtype and bit distribution).
+    Series without a batch implementation run per-trial, identically to the
+    serial executor.
     """
 
     name = "vectorized"
@@ -266,9 +274,14 @@ class VectorizedExecutor(Executor):
     ) -> List[float]:
         from repro.experiments.tensor import run_tensor_cell
 
-        series_groups: Dict[int, List[Tuple[int, TrialSpec]]] = {}
+        # One batch per (series, scenario): a scenario grid is executed as
+        # one tensorized sub-batch per scenario, since dtype, bit
+        # distribution, and voltage may vary across scenarios.  Single-axis
+        # sweeps (scenario_index None) keep their one-batch-per-series shape.
+        series_groups: Dict[Tuple, List[Tuple[int, TrialSpec]]] = {}
         for index, spec in enumerate(specs):
-            series_groups.setdefault(spec.series_index, []).append((index, spec))
+            group_key = (spec.series_index, spec.scenario_index)
+            series_groups.setdefault(group_key, []).append((index, spec))
         values: List[Optional[float]] = [None] * len(specs)
         for group in series_groups.values():
             function = sweep.trial_functions[group[0][1].series_name]

@@ -46,7 +46,9 @@ from repro.experiments.runner import (
     FigureResult,
     SeriesResult,
     run_fault_rate_sweep,
+    run_scenario_grid,
 )
+from repro.experiments.scenarios import voltage_scenario
 from repro.faults.distribution import (
     EmulatedBitDistribution,
     MeasuredBitDistribution,
@@ -61,6 +63,8 @@ from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
 __all__ = [
     "sorting_trial_functions",
+    "DEFAULT_CROSS_MODEL_SCENARIOS",
+    "DEFAULT_STUDY_VOLTAGES",
     "figure_5_1",
     "figure_5_2",
     "figure_6_1",
@@ -75,9 +79,31 @@ __all__ = [
     "maxflow_study",
     "apsp_study",
     "svm_study",
+    "sorting_scenario_study",
+    "least_squares_scenario_study",
+    "matching_scenario_study",
+    "sorting_voltage_study",
+    "least_squares_voltage_study",
+    "matching_voltage_study",
     "flop_cost_comparison",
     "overhead_table",
 ]
+
+#: Scenario presets compared by the cross-fault-model studies.
+DEFAULT_CROSS_MODEL_SCENARIOS = (
+    "nominal",
+    "measured-bits",
+    "low-order-seu",
+    "double-precision-64",
+)
+
+#: Fault-rate grid of the cross-fault-model studies (the paper's low /
+#: moderate / extreme operating points).
+DEFAULT_CROSS_MODEL_RATES = (0.01, 0.1, 0.5)
+
+#: Voltage operating points of the voltage-vs-quality studies; the fault
+#: rate at each point comes from the Figure 5.2 voltage/error-rate curve.
+DEFAULT_STUDY_VOLTAGES = (0.80, 0.75, 0.70, 0.65, 0.60)
 
 
 # --------------------------------------------------------------------------- #
@@ -105,15 +131,54 @@ def figure_5_1(width: int = 32) -> FigureResult:
     )
 
 
-def figure_5_2(n_points: int = 10) -> FigureResult:
-    """Figure 5.2: FPU error rate as the supply voltage is scaled."""
+def figure_5_2(
+    n_points: int = 10,
+    trials: int = 3,
+    ops_per_trial: int = 4000,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Figure 5.2: FPU error rate as the supply voltage is scaled.
+
+    Expressed as a ScenarioGrid study: each sampled voltage is a
+    voltage-pinned :class:`~repro.experiments.scenarios.Scenario`, so the
+    analytic curve falls directly out of the scenarios' effective fault
+    rates, and a companion Monte-Carlo series measures the *empirical*
+    errors-per-FLOP of a processor built at each operating point (one noisy
+    block of ``ops_per_trial`` FLOPs per trial, through the engine like any
+    other grid).  This replaces the former one-off ``model.curve()``
+    plumbing with the same declarative grid every other scenario study uses.
+    """
     model = VoltageErrorModel()
-    voltages, rates = model.curve(n_points=n_points)
-    series = SeriesResult(name="FPU error rate")
-    for voltage, rate in zip(voltages, rates):
-        series.fault_rates.append(float(voltage))
-        series.values.append([float(rate)])
-    return get_kernel("voltage_curve").make_figure([series])
+    voltages = np.linspace(model.max_voltage, model.min_voltage, n_points)
+    scenarios = [voltage_scenario(float(voltage)) for voltage in voltages]
+    analytic = SeriesResult(name="FPU error rate")
+    for scenario, voltage in zip(scenarios, voltages):
+        analytic.fault_rates.append(float(voltage))
+        analytic.values.append([scenario.effective_fault_rate(0.0)])
+
+    def empirical_error_rate(proc, rng) -> float:
+        proc.corrupt(rng.random(ops_per_trial), ops_per_element=1)
+        return proc.faults_injected / max(proc.injector.ops_observed, 1)
+
+    grid = run_scenario_grid(
+        {"empirical": empirical_error_rate},
+        scenarios,
+        fault_rates=(0.0,),
+        trials=trials,
+        seed=seed,
+        engine=engine,
+    )
+    empirical = SeriesResult(
+        name=f"Monte-Carlo errors/FLOP ({ops_per_trial} FLOPs x {trials} trials)"
+    )
+    for voltage, row in zip(voltages, grid):
+        empirical.fault_rates.append(float(voltage))
+        empirical.values.append(list(row.values[0]))
+    return get_kernel("voltage_curve").make_figure(
+        [analytic, empirical],
+        notes="each voltage operating point is a ScenarioGrid scenario",
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -238,14 +303,7 @@ def figure_6_5(
     kernel, series = _run_kernel_sweep(
         "matching_enhancements", fault_rates, trials, seed, engine,
         iterations=iterations,
-        series={
-            "Non-robust": None,
-            "Basic,LS": "Basic,LS",
-            "SQS": "SQS",
-            "PRECOND": "PRECOND",
-            "ANNEAL": "ANNEAL",
-            "ALL": "ALL",
-        },
+        series=dict(get_kernel("matching_enhancements").series),
     )
     return kernel.make_figure(series)
 
@@ -385,6 +443,173 @@ def svm_study(
         regularization=regularization,
     )
     return kernel.make_figure(series, iterations=iterations)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario-grid studies — cross-fault-model and voltage operating-point
+# comparisons for the sorting, least-squares, and matching kernels, all
+# expressed as declarative ScenarioGrids over the same engine.
+# --------------------------------------------------------------------------- #
+#: Compact two-series line-ups (baseline vs best robust variant) used by the
+#: scenario studies, so a grid over several scenarios stays tractable.
+_SCENARIO_SORTING_SERIES = {"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
+_SCENARIO_LSQ_SERIES = {"Base: SVD": None, "SGD+AS,LS": "SGD+AS,LS"}
+_SCENARIO_MATCHING_SERIES = {"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
+
+
+def _cross_model_study(
+    kernel_name: str,
+    series,
+    scenarios,
+    fault_rates,
+    trials: int,
+    seed: int,
+    engine,
+    **factory_kwargs,
+) -> FigureResult:
+    """Run one kernel's trial functions across fault-model scenarios.
+
+    Thin wrapper over :meth:`KernelSpec.build_scenario_study` — the single
+    grid-to-figure assembly path — that re-stamps the result with the
+    registered kernel's presentation metadata.
+    """
+    kernel = get_kernel(kernel_name)
+    study = kernel.build_scenario_study(
+        scenarios, trials=trials, fault_rates=fault_rates, seed=seed,
+        engine=engine, series=series, **factory_kwargs,
+    )
+    return kernel.make_figure(study.series, **factory_kwargs)
+
+
+def _voltage_study(
+    kernel_name: str,
+    series,
+    voltages,
+    trials: int,
+    seed: int,
+    engine,
+    **factory_kwargs,
+) -> FigureResult:
+    """Run one kernel across voltage operating points; x axis = voltage.
+
+    Each voltage becomes a voltage-pinned scenario (fault rate from the
+    Figure 5.2 curve), executed through
+    :meth:`KernelSpec.build_scenario_study` (whose pinned path runs each
+    scenario at its single operating point); the study's series — ordered
+    series-major, then scenario — are then re-indexed so every solver series
+    runs over the voltage axis.
+    """
+    kernel = get_kernel(kernel_name)
+    scenarios = [voltage_scenario(float(voltage)) for voltage in voltages]
+    study = kernel.build_scenario_study(
+        scenarios, trials=trials, seed=seed, engine=engine,
+        series=series, **factory_kwargs,
+    )
+    reshaped = []
+    for series_index, label in enumerate(series):
+        entry = SeriesResult(name=label)
+        for scenario_index, voltage in enumerate(voltages):
+            row = study.series[series_index * len(scenarios) + scenario_index]
+            entry.fault_rates.append(float(voltage))
+            entry.values.append(list(row.values[0]))
+        reshaped.append(entry)
+    return kernel.make_figure(reshaped, **factory_kwargs)
+
+
+def sorting_scenario_study(
+    trials: int = 5,
+    iterations: int = 10000,
+    fault_rates: Sequence[float] = DEFAULT_CROSS_MODEL_RATES,
+    scenarios: Sequence = DEFAULT_CROSS_MODEL_SCENARIOS,
+    array_size: int = 5,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Cross-fault-model comparison of sorting success.
+
+    One line per (series, scenario): the noisy baseline and the best robust
+    variant, each under every scenario preset (emulated vs measured bit
+    distributions, low-order-only SEUs, double precision).
+    """
+    return _cross_model_study(
+        "sorting_cross_model", _SCENARIO_SORTING_SERIES, scenarios, fault_rates,
+        trials, seed, engine, iterations=iterations, array_size=array_size,
+    )
+
+
+def least_squares_scenario_study(
+    trials: int = 5,
+    iterations: int = 1000,
+    fault_rates: Sequence[float] = DEFAULT_CROSS_MODEL_RATES,
+    scenarios: Sequence = DEFAULT_CROSS_MODEL_SCENARIOS,
+    shape: tuple = (100, 10),
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Cross-fault-model comparison of least-squares relative error."""
+    return _cross_model_study(
+        "least_squares_cross_model", _SCENARIO_LSQ_SERIES, scenarios, fault_rates,
+        trials, seed, engine, iterations=iterations, shape=shape,
+    )
+
+
+def matching_scenario_study(
+    trials: int = 5,
+    iterations: int = 10000,
+    fault_rates: Sequence[float] = DEFAULT_CROSS_MODEL_RATES,
+    scenarios: Sequence = DEFAULT_CROSS_MODEL_SCENARIOS,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Cross-fault-model comparison of bipartite-matching success."""
+    return _cross_model_study(
+        "matching_cross_model", _SCENARIO_MATCHING_SERIES, scenarios, fault_rates,
+        trials, seed, engine, iterations=iterations,
+    )
+
+
+def sorting_voltage_study(
+    trials: int = 5,
+    iterations: int = 10000,
+    voltages: Sequence[float] = DEFAULT_STUDY_VOLTAGES,
+    array_size: int = 5,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Sorting success as the supply voltage is overscaled (Fig 5.2 rates)."""
+    return _voltage_study(
+        "sorting_voltage", _SCENARIO_SORTING_SERIES, voltages,
+        trials, seed, engine, iterations=iterations, array_size=array_size,
+    )
+
+
+def least_squares_voltage_study(
+    trials: int = 5,
+    iterations: int = 1000,
+    voltages: Sequence[float] = DEFAULT_STUDY_VOLTAGES,
+    shape: tuple = (100, 10),
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Least-squares relative error as the supply voltage is overscaled."""
+    return _voltage_study(
+        "least_squares_voltage", _SCENARIO_LSQ_SERIES, voltages,
+        trials, seed, engine, iterations=iterations, shape=shape,
+    )
+
+
+def matching_voltage_study(
+    trials: int = 5,
+    iterations: int = 10000,
+    voltages: Sequence[float] = DEFAULT_STUDY_VOLTAGES,
+    seed: int = _WORKLOAD_SEED,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> FigureResult:
+    """Bipartite-matching success as the supply voltage is overscaled."""
+    return _voltage_study(
+        "matching_voltage", _SCENARIO_MATCHING_SERIES, voltages,
+        trials, seed, engine, iterations=iterations,
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -84,7 +84,7 @@ from repro.applications.svm import (
 )
 from repro.core.variants import sgd_options_for_variant
 from repro.experiments.results import FigureResult, SeriesResult
-from repro.experiments.spec import SweepSpec, TrialFunction
+from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec, TrialFunction
 from repro.optimizers.conjugate_gradient import CGOptions
 from repro.processor.stochastic import StochasticProcessor
 from repro.workloads.generators import (
@@ -765,6 +765,18 @@ class KernelSpec:
         Whether at least one series carries a tensorized batch
         implementation, i.e. the ``vectorized``/``auto`` executors have a
         fast path for this kernel.
+    scenario_study:
+        Whether the kernel's figure *is already* a scenario-grid study
+        (cross-model or voltage comparison).  Such kernels are excluded from
+        ``reproduce_figures.py --grid``'s default selection — wrapping a
+        scenario study in another ad-hoc grid would recompute the same
+        workload under a second key with mislabeled axes.
+    series:
+        The series line-up the kernel's figure passes to its trial factory,
+        when it differs from the factory's default (e.g. the Figure 6.5
+        enhancement ablation).  :meth:`build_scenario_study` forwards it so
+        an ad-hoc grid reproduces the kernel's own series, not the factory
+        default's.
     trial_factory:
         The workload-level factory building the series label →
         trial-function mapping (sweep kernels only).
@@ -794,6 +806,8 @@ class KernelSpec:
     metric: str = "mean"
     sweep: bool = False
     batched: bool = False
+    scenario_study: bool = False
+    series: Optional[Mapping[str, Optional[str]]] = None
     trial_factory: Optional[Callable[..., Dict[str, TrialFunction]]] = None
     paper_iterations: Optional[int] = None
     min_iterations: int = 0
@@ -804,6 +818,16 @@ class KernelSpec:
     def use_success_rate(self) -> bool:
         """Whether tables of this kernel report per-rate success fractions."""
         return self.metric == "success_rate"
+
+    @property
+    def takes_engine(self) -> bool:
+        """Whether the figure builder accepts an ``engine`` keyword.
+
+        True for every sweep kernel, and for non-sweep builders that still
+        run trials through the engine (e.g. ``figure_5_2``'s Monte-Carlo
+        scenario grid), so CLI executor selection reaches them.
+        """
+        return self.sweep or "engine" in inspect.signature(self.builder()).parameters
 
     def builder(self) -> Callable[..., FigureResult]:
         """The figure generator (resolved lazily from the figures module)."""
@@ -827,6 +851,92 @@ class KernelSpec:
             y_label=self.y_label,
             series=list(series),
             notes=notes,
+        )
+
+    def build_scenario_study(
+        self,
+        scenarios,
+        trials: int = 5,
+        fault_rates=DEFAULT_FAULT_RATES,
+        seed: int = WORKLOAD_SEED,
+        engine=None,
+        **factory_kwargs: Any,
+    ) -> FigureResult:
+        """Run this kernel's workload as an ad-hoc scenario-grid study.
+
+        Available for every sweep-shaped kernel: the kernel's trial factory
+        builds its usual series line-up (``factory_kwargs`` are the factory's
+        parameters, e.g. ``iterations``), which is then crossed with the
+        given scenario presets (names or
+        :class:`~repro.experiments.scenarios.Scenario` objects) through
+        :func:`~repro.experiments.runner.run_scenario_grid`.  This is how
+        ``examples/reproduce_figures.py --grid`` runs any kernel over any
+        scenario selection without a dedicated figure generator.
+
+        Scenarios that pin their own fault rate (explicitly or via a voltage
+        operating point) have no rate axis: they run on a single grid point
+        — not once per ``fault_rates`` entry — and their series name carries
+        the effective rate (``"... [rate 0.01]"``), so the table never
+        attributes a pinned scenario's value to a grid rate it did not run
+        at.  Pinned scenarios execute as a separate sub-grid with the same
+        base seed (common random numbers with the unpinned partition).
+        """
+        if not self.sweep or self.trial_factory is None:
+            raise ValueError(
+                f"kernel {self.name!r} is not sweep-shaped; "
+                "scenario studies need a trial factory"
+            )
+        from repro.experiments.runner import run_scenario_grid
+        from repro.experiments.scenarios import get_scenario, scenario_series_name
+
+        resolved = [get_scenario(scenario) for scenario in scenarios]
+        if self.series is not None and "series" not in factory_kwargs:
+            factory_kwargs = dict(factory_kwargs, series=dict(self.series))
+        functions = self.trial_factory(seed=seed, **factory_kwargs)
+        unpinned = [scenario for scenario in resolved if not scenario.pinned]
+        pinned = [scenario for scenario in resolved if scenario.pinned]
+        sub_series: Dict[str, SeriesResult] = {}
+        if unpinned:
+            grid = run_scenario_grid(
+                functions, unpinned, fault_rates=fault_rates,
+                trials=trials, seed=seed, engine=engine,
+            )
+            for label_index, label in enumerate(functions):
+                for scenario_index, scenario in enumerate(unpinned):
+                    key = scenario_series_name(label, scenario)
+                    sub_series[key] = grid[label_index * len(unpinned) + scenario_index]
+        if pinned:
+            grid = run_scenario_grid(
+                functions, pinned, fault_rates=(0.0,),
+                trials=trials, seed=seed, engine=engine,
+            )
+            for label_index, label in enumerate(functions):
+                for scenario_index, scenario in enumerate(pinned):
+                    entry = grid[label_index * len(pinned) + scenario_index]
+                    entry.name = (
+                        f"{scenario_series_name(label, scenario)} "
+                        f"[rate {entry.fault_rates[0]:g}]"
+                    )
+                    sub_series[scenario_series_name(label, scenario)] = entry
+        # Unpinned scenarios first within each series, so the rendered
+        # table's rate column always comes from a full-grid series (pinned
+        # series contribute a single row and dashes elsewhere).
+        series = [
+            sub_series[scenario_series_name(label, scenario)]
+            for label in functions
+            for scenario in unpinned + pinned
+        ]
+        try:
+            title = self.title.format(**factory_kwargs)
+        except (KeyError, IndexError):
+            title = self.title
+        return FigureResult(
+            figure_id=f"{self.figure_id} × scenarios",
+            title=f"{title} — scenario grid "
+            f"({', '.join(scenario.name for scenario in resolved)})",
+            x_label=self.x_label,
+            y_label=self.y_label,
+            series=list(series),
         )
 
     def reduced_kwargs(self, trials: int, scale: float = 1.0) -> Dict[str, Any]:
@@ -855,10 +965,15 @@ class KernelSpec:
         values, including the ones left at their defaults (workload seed,
         fault-rate grid, problem sizes): the builder's signature defaults are
         merged with the explicit overrides so editing a default invalidates
-        the cache.  The ``engine`` argument is excluded — executors are
-        bit-identical by contract, so executor choice never keys a cache
-        entry.
+        the cache.  ``scenarios`` / ``voltages`` parameters are resolved to
+        full scenario fingerprints (model name, dtype, bit-position pmf,
+        rate/voltage pin) rather than keyed by preset name alone, so editing
+        a scenario or fault-model preset invalidates cached studies.  The
+        ``engine`` argument is excluded — executors are bit-identical by
+        contract, so executor choice never keys a cache entry.
         """
+        from repro.experiments.scenarios import get_scenario, voltage_scenario
+
         params = {
             name: parameter.default
             for name, parameter in inspect.signature(self.builder()).parameters.items()
@@ -866,6 +981,16 @@ class KernelSpec:
         }
         params.update(kwargs)
         params.pop("engine", None)
+        if "scenarios" in params:
+            params["scenarios"] = [
+                get_scenario(scenario).fingerprint()
+                for scenario in params["scenarios"]
+            ]
+        if "voltages" in params:
+            params["voltages"] = [
+                voltage_scenario(float(voltage)).fingerprint()
+                for voltage in params["voltages"]
+            ]
         return params
 
 
@@ -932,7 +1057,6 @@ register_kernel(KernelSpec(
     x_label="supply voltage (V)",
     y_label="errors per FLOP",
     benchmark="benchmarks/bench_fig5_2_voltage_curve.py",
-    takes_trials=False,
 ))
 register_kernel(KernelSpec(
     name="sorting",
@@ -1003,6 +1127,14 @@ register_kernel(KernelSpec(
     batched=True,
     trial_factory=matching_kernel,
     paper_iterations=10000,
+    series={
+        "Non-robust": None,
+        "Basic,LS": "Basic,LS",
+        "SQS": "SQS",
+        "PRECOND": "PRECOND",
+        "ANNEAL": "ANNEAL",
+        "ALL": "ALL",
+    },
 ))
 register_kernel(KernelSpec(
     name="cg_least_squares",
@@ -1115,4 +1247,99 @@ register_kernel(KernelSpec(
     trial_factory=svm_kernel,
     paper_iterations=1000,
     min_iterations=200,
+))
+# --------------------------------------------------------------------------- #
+# Scenario-grid studies — cross-fault-model and voltage operating-point
+# comparisons expressed as declarative ScenarioGrids (see
+# repro.experiments.scenarios and docs/scenarios.md).
+# --------------------------------------------------------------------------- #
+register_kernel(KernelSpec(
+    name="sorting_cross_model",
+    scenario_study=True,
+    figure="sorting_scenario_study",
+    figure_id="Scenario grid (sorting)",
+    title="Sorting success across fault-model scenarios - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=sorting_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="least_squares_cross_model",
+    scenario_study=True,
+    figure="least_squares_scenario_study",
+    figure_id="Scenario grid (least squares)",
+    title="Least-squares error across fault-model scenarios - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="relative error w.r.t. ideal (lower is better)",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    sweep=True,
+    batched=True,
+    trial_factory=least_squares_kernel,
+    paper_iterations=1000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="matching_cross_model",
+    scenario_study=True,
+    figure="matching_scenario_study",
+    figure_id="Scenario grid (matching)",
+    title="Matching success across fault-model scenarios - {iterations} iterations",
+    x_label="fault rate (fraction of FLOPs)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=matching_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="sorting_voltage",
+    scenario_study=True,
+    figure="sorting_voltage_study",
+    figure_id="Voltage study (sorting)",
+    title="Sorting success vs supply voltage - {iterations} iterations",
+    x_label="supply voltage (V)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=sorting_kernel,
+    paper_iterations=10000,
+))
+register_kernel(KernelSpec(
+    name="least_squares_voltage",
+    scenario_study=True,
+    figure="least_squares_voltage_study",
+    figure_id="Voltage study (least squares)",
+    title="Least-squares error vs supply voltage - {iterations} iterations",
+    x_label="supply voltage (V)",
+    y_label="relative error w.r.t. ideal (lower is better)",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    sweep=True,
+    batched=True,
+    trial_factory=least_squares_kernel,
+    paper_iterations=1000,
+    min_iterations=500,
+))
+register_kernel(KernelSpec(
+    name="matching_voltage",
+    scenario_study=True,
+    figure="matching_voltage_study",
+    figure_id="Voltage study (matching)",
+    title="Matching success vs supply voltage - {iterations} iterations",
+    x_label="supply voltage (V)",
+    y_label="success rate",
+    benchmark="benchmarks/bench_scenario_grids.py",
+    metric="success_rate",
+    sweep=True,
+    batched=True,
+    trial_factory=matching_kernel,
+    paper_iterations=10000,
 ))

@@ -1,4 +1,4 @@
-"""Generic fault-rate sweep machinery (compatibility wrapper).
+"""Generic sweep machinery (compatibility wrapper + scenario grids).
 
 The paper's evaluation repeatedly runs an application implementation at a
 series of fault rates, collects a quality metric per trial, and reports the
@@ -8,6 +8,14 @@ lives in the :mod:`repro.experiments.engine` plan/execute subsystem;
 plans a :class:`~repro.experiments.spec.SweepSpec` and hands it to an
 :class:`~repro.experiments.engine.ExperimentEngine`.  Results are
 bit-identical to the original serial triple loop for every executor.
+
+:func:`run_scenario_grid` is the scenario-axis twin: it crosses the same
+(series × rate × trial) grid with a list of named
+:class:`~repro.experiments.scenarios.Scenario` operating points (fault model,
+bit-position distribution, dtype, voltage or pinned fault rate), so
+cross-model comparisons and voltage studies run through the same engine —
+batched per scenario sub-batch, cached by scenario-aware spec hashes —
+instead of hand-written one-off loops.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.scenarios import Scenario
 from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec, TrialFunction
 
 __all__ = [
@@ -24,7 +33,18 @@ __all__ = [
     "SeriesResult",
     "FigureResult",
     "run_fault_rate_sweep",
+    "run_scenario_grid",
 ]
+
+
+def _resolve_engine(
+    engine: Optional[Union[str, ExperimentEngine]],
+) -> ExperimentEngine:
+    if engine is None:
+        return ExperimentEngine()
+    if isinstance(engine, str):
+        return ExperimentEngine(executor=engine)
+    return engine
 
 
 def run_fault_rate_sweep(
@@ -48,10 +68,6 @@ def run_fault_rate_sweep(
     ready-built :class:`~repro.experiments.engine.ExperimentEngine` is used
     as-is.  The choice affects throughput only — results are identical.
     """
-    if engine is None:
-        engine = ExperimentEngine()
-    elif isinstance(engine, str):
-        engine = ExperimentEngine(executor=engine)
     sweep = SweepSpec(
         trial_functions=dict(trial_functions),
         fault_rates=tuple(fault_rates),
@@ -59,4 +75,38 @@ def run_fault_rate_sweep(
         seed=seed,
         fault_model=fault_model,
     )
-    return engine.run_sweep(sweep)
+    return _resolve_engine(engine).run_sweep(sweep)
+
+
+def run_scenario_grid(
+    trial_functions: Dict[str, TrialFunction],
+    scenarios: Sequence[Union[str, Scenario]],
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    trials: int = 5,
+    seed: int = 0,
+    engine: Optional[Union[str, ExperimentEngine]] = None,
+) -> List[SeriesResult]:
+    """Run each trial function across a scenario × fault-rate grid.
+
+    ``scenarios`` is a sequence of preset names (see
+    :func:`repro.experiments.scenarios.list_scenarios`) or explicit
+    :class:`~repro.experiments.scenarios.Scenario` objects.  The returned
+    list holds one :class:`SeriesResult` per (trial function, scenario) pair
+    — series-major, then scenario, named ``"<series> @ <scenario>"`` — whose
+    ``fault_rates`` are the *effective* rates under that scenario
+    (voltage- or rate-pinned scenarios repeat their pinned rate across the
+    grid, so such studies usually pass a single grid rate).
+
+    Every (series, scenario, rate, trial) cell owns an independent random
+    stream derived from ``seed`` and its coordinates, so results are
+    bit-identical across all executors; the ``batched`` / ``vectorized``
+    executors run one vectorized sub-batch per scenario.
+    """
+    sweep = SweepSpec(
+        trial_functions=dict(trial_functions),
+        fault_rates=tuple(fault_rates),
+        trials=trials,
+        seed=seed,
+        scenarios=tuple(scenarios),
+    )
+    return _resolve_engine(engine).run_sweep(sweep)

@@ -1,0 +1,368 @@
+"""Scenarios: named operating points of the simulated stochastic processor.
+
+The paper evaluates robustified applications across a whole *operating
+space* — which fault model is active, which bit-position distribution it
+draws from, what precision the datapath runs at, and what supply voltage
+(and therefore fault rate) the FPU is overscaled to.  A :class:`Scenario`
+names one point of that space; a sweep's ``scenarios`` axis
+(:class:`~repro.experiments.spec.SweepSpec`) crosses a list of scenarios
+with the series and trial axes so that cross-model and voltage/energy
+studies run through the same plan/execute engine as the classic
+single-model fault-rate sweep — batched, cached, and bit-identical across
+executors — instead of through hand-written one-off loops.
+
+A scenario is deliberately declarative: it is resolved to a concrete
+:class:`~repro.faults.models.FaultModel` (dtype + bit-position
+distribution) and an effective fault rate only at plan-expansion time, so
+new scenarios are registry entries, not new scripts.
+
+Three ways to pin the fault rate:
+
+* neither ``fault_rate`` nor ``voltage`` set — the scenario inherits each
+  grid point of the sweep's ``fault_rates`` axis (cross-model studies);
+* ``voltage`` set — the rate is derived from the Figure 5.2
+  voltage/error-rate model at that operating point (voltage studies);
+* ``fault_rate`` set — the rate is pinned explicitly.
+
+``docs/scenarios.md`` catalogs every named preset registered here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import FaultModelError
+from repro.faults.bitflip import bit_width
+from repro.faults.distribution import (
+    BitPositionDistribution,
+    EmulatedBitDistribution,
+    LowOrderBitDistribution,
+    MeasuredBitDistribution,
+    UniformBitDistribution,
+)
+from repro.faults.models import FaultModel, get_fault_model
+from repro.processor.voltage import VoltageErrorModel
+
+__all__ = [
+    "Scenario",
+    "voltage_scenario",
+    "scenario_series_name",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+]
+
+#: Bit-position distribution families selectable by name in a scenario.
+_DISTRIBUTION_FAMILIES: Dict[str, Callable[..., BitPositionDistribution]] = {
+    "emulated": EmulatedBitDistribution,
+    "measured": MeasuredBitDistribution,
+    "uniform": UniformBitDistribution,
+    "low-order": LowOrderBitDistribution,
+}
+
+#: Shared voltage/error-rate curve used to resolve voltage operating points.
+#: Matches the default model :class:`StochasticProcessor` builds, so a
+#: scenario's effective rate and its processor's derived rate agree exactly.
+_VOLTAGE_MODEL = VoltageErrorModel()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named operating point of the simulated processor.
+
+    Attributes
+    ----------
+    name:
+        Label used in series names, progress events, and fingerprints.
+    fault_model:
+        A :class:`~repro.faults.models.FaultModel` or registry name supplying
+        the datapath dtype and bit-position distribution.
+    bit_distribution:
+        Optional override of the model's bit-position distribution: a family
+        name (``"emulated"``, ``"measured"``, ``"uniform"``, ``"low-order"``)
+        instantiated at the datapath width, or a ready-built distribution.
+    dtype:
+        Optional override of the model's datapath dtype.  When the override
+        changes the word width and no explicit distribution is given, the
+        model's distribution family is re-instantiated at the new width
+        (with its stock parameters).
+    fault_rate:
+        Explicit fault rate pin.  Mutually exclusive with ``voltage``; when
+        both are ``None``, the scenario inherits the sweep's fault-rate grid.
+    voltage:
+        Supply-voltage operating point; the fault rate is derived from the
+        Figure 5.2 voltage/error-rate model.  Mutually exclusive with
+        ``fault_rate``.
+    description:
+        One-line description for reports and the ``docs/scenarios.md`` catalog.
+    """
+
+    name: str
+    fault_model: Union[str, FaultModel] = "leon3-fpu"
+    bit_distribution: Union[str, BitPositionDistribution, None] = None
+    dtype: Union[str, np.dtype, None] = None
+    fault_rate: Optional[float] = None
+    voltage: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.fault_rate is not None and self.voltage is not None:
+            raise ValueError(
+                f"scenario {self.name!r} pins both fault_rate and voltage; "
+                "they are mutually exclusive"
+            )
+        if self.fault_rate is not None and not 0.0 <= float(self.fault_rate) <= 1.0:
+            raise ValueError(
+                f"scenario {self.name!r}: fault_rate must be in [0, 1], "
+                f"got {self.fault_rate}"
+            )
+        if self.voltage is not None and float(self.voltage) <= 0.0:
+            raise ValueError(
+                f"scenario {self.name!r}: voltage must be positive, got {self.voltage}"
+            )
+        if (
+            isinstance(self.bit_distribution, str)
+            and self.bit_distribution not in _DISTRIBUTION_FAMILIES
+        ):
+            raise FaultModelError(
+                f"unknown bit-distribution family {self.bit_distribution!r}; "
+                f"available: {sorted(_DISTRIBUTION_FAMILIES)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    @property
+    def pinned(self) -> bool:
+        """Whether the scenario fixes its own fault rate (explicitly or by voltage)."""
+        return self.fault_rate is not None or self.voltage is not None
+
+    def resolved_model(self) -> FaultModel:
+        """The concrete fault model, with dtype / distribution overrides applied."""
+        base = (
+            get_fault_model(self.fault_model)
+            if isinstance(self.fault_model, str)
+            else self.fault_model
+        )
+        if self.dtype is None and self.bit_distribution is None:
+            return base
+        dtype = np.dtype(self.dtype) if self.dtype is not None else base.dtype
+        width = bit_width(dtype)
+        tags: List[str] = []
+        if isinstance(self.bit_distribution, str):
+            distribution = _DISTRIBUTION_FAMILIES[self.bit_distribution](width=width)
+            tags.append(f"bits={self.bit_distribution}")
+        elif self.bit_distribution is not None:
+            distribution = self.bit_distribution
+            if distribution.width != width:
+                raise FaultModelError(
+                    f"scenario {self.name!r}: bit distribution is over "
+                    f"{distribution.width} bits but dtype {dtype} has {width}"
+                )
+            tags.append(f"bits={type(distribution).__name__}")
+        else:
+            distribution = base.bit_distribution
+            if distribution.width != width:
+                # Re-instantiate the model's family at the new width (stock
+                # parameters); pass an explicit distribution to customize.
+                distribution = type(distribution)(width=width)
+        if dtype != base.dtype:
+            tags.append(f"dtype={dtype}")
+        if not tags:
+            return base
+        return FaultModel(
+            name=f"{base.name}[{','.join(tags)}]",
+            dtype=dtype,
+            bit_distribution=distribution,
+            description=self.description or base.description,
+        )
+
+    def effective_fault_rate(self, grid_rate: float) -> float:
+        """The fault rate this scenario runs at for one grid point.
+
+        Pinned scenarios (explicit rate or voltage operating point) return
+        their own rate and ignore ``grid_rate``; unpinned scenarios inherit
+        the grid point.
+        """
+        if self.fault_rate is not None:
+            return float(self.fault_rate)
+        if self.voltage is not None:
+            return float(_VOLTAGE_MODEL.error_rate(self.voltage))
+        return float(grid_rate)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Canonical JSON-ready description, for sweep/cache fingerprints.
+
+        Built from the *resolved* configuration (model name, dtype, and the
+        full bit-position pmf — which completely determines fault behaviour),
+        so a grid built from preset names hashes identically to the same grid
+        built from explicit :class:`Scenario` objects, while any behavioural
+        difference (one distribution parameter, one voltage step) changes the
+        hash.
+        """
+        model = self.resolved_model()
+        distribution = model.bit_distribution
+        return {
+            "name": self.name,
+            "fault_model": model.name,
+            "dtype": str(model.dtype),
+            "bit_distribution": {
+                "family": type(distribution).__name__,
+                "width": int(distribution.width),
+                "pmf": [float(mass) for mass in distribution.pmf()],
+            },
+            "fault_rate": None if self.fault_rate is None else float(self.fault_rate),
+            "voltage": None if self.voltage is None else float(self.voltage),
+        }
+
+
+def voltage_scenario(
+    voltage: float,
+    fault_model: Union[str, FaultModel] = "leon3-fpu",
+    name: Optional[str] = None,
+) -> Scenario:
+    """A scenario running ``fault_model`` at a supply-voltage operating point."""
+    model_name = fault_model if isinstance(fault_model, str) else fault_model.name
+    return Scenario(
+        name=name if name is not None else f"{model_name}@{float(voltage):.4g}V",
+        fault_model=fault_model,
+        voltage=float(voltage),
+        description=f"{model_name} overscaled to {float(voltage):.4g} V "
+        "(fault rate from the Figure 5.2 curve).",
+    )
+
+
+def scenario_series_name(series_name: str, scenario: Scenario) -> str:
+    """Display name of one (series, scenario) line of a scenario grid."""
+    return f"{series_name} @ {scenario.name}"
+
+
+# --------------------------------------------------------------------------- #
+# The named scenario-preset registry
+# --------------------------------------------------------------------------- #
+def _presets() -> Dict[str, Scenario]:
+    return {
+        scenario.name: scenario
+        for scenario in (
+            Scenario(
+                name="nominal",
+                fault_model="leon3-fpu",
+                description=(
+                    "Single-precision Leon3 FPU with the emulated bimodal bit "
+                    "distribution; fault rate taken from the sweep grid."
+                ),
+            ),
+            Scenario(
+                name="measured-bits",
+                fault_model="leon3-fpu-measured",
+                description=(
+                    "Single-precision FPU driven by the synthetic 'measured' "
+                    "bit-position distribution of Figure 5.1."
+                ),
+            ),
+            Scenario(
+                name="low-order-seu",
+                fault_model="low-order-only",
+                description=(
+                    "Mild-overscaling SEU regime: faults restricted to the "
+                    "lowest 8 mantissa bits (low-magnitude errors only)."
+                ),
+            ),
+            Scenario(
+                name="double-precision-64",
+                fault_model="double-precision",
+                description=(
+                    "Double-precision datapath with the emulated bimodal "
+                    "distribution at 64-bit width."
+                ),
+            ),
+            Scenario(
+                name="uniform-32",
+                fault_model="uniform-bits",
+                description=(
+                    "Ablation: single-precision datapath with faults striking "
+                    "every bit (exponent included) uniformly."
+                ),
+            ),
+            Scenario(
+                name="uniform-64",
+                fault_model="uniform-bits-64",
+                description=(
+                    "Ablation: double-precision datapath with uniform 64-bit "
+                    "fault positions (catastrophic exponent corruptions)."
+                ),
+            ),
+            Scenario(
+                name="measured-0.80V",
+                fault_model="leon3-fpu-measured",
+                voltage=0.80,
+                description=(
+                    "Measured-distribution FPU at 0.80 V "
+                    "(~1e-5 errors/FLOP on the Figure 5.2 curve)."
+                ),
+            ),
+            Scenario(
+                name="measured-0.70V",
+                fault_model="leon3-fpu-measured",
+                voltage=0.70,
+                description=(
+                    "Measured-distribution FPU at 0.70 V "
+                    "(~1e-2 errors/FLOP on the Figure 5.2 curve)."
+                ),
+            ),
+            Scenario(
+                name="measured-0.65V",
+                fault_model="leon3-fpu-measured",
+                voltage=0.65,
+                description=(
+                    "Measured-distribution FPU at 0.65 V "
+                    "(~0.1 errors/FLOP on the Figure 5.2 curve)."
+                ),
+            ),
+            Scenario(
+                name="overscaled-0.60V",
+                fault_model="leon3-fpu",
+                voltage=0.60,
+                description=(
+                    "Deeply overscaled Leon3 FPU at 0.60 V "
+                    "(~0.3 errors/FLOP on the Figure 5.2 curve)."
+                ),
+            ),
+        )
+    }
+
+
+_BUILTIN: Dict[str, Scenario] = _presets()
+_CUSTOM: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Register a custom scenario preset under its ``name``."""
+    if not overwrite and (scenario.name in _BUILTIN or scenario.name in _CUSTOM):
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _CUSTOM[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(spec: Union[str, Scenario]) -> Scenario:
+    """Resolve a preset name to its :class:`Scenario` (instances pass through)."""
+    if isinstance(spec, Scenario):
+        return spec
+    if spec in _CUSTOM:
+        return _CUSTOM[spec]
+    try:
+        return _BUILTIN[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {spec!r}; available: {list_scenarios()}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Names of all registered scenario presets (built-in and custom)."""
+    return sorted(set(_BUILTIN) | set(_CUSTOM))

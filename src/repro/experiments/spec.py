@@ -1,20 +1,31 @@
-"""Sweep plans: expanding a fault-rate sweep into seeded trial specs.
+"""Sweep plans: expanding a sweep grid into seeded trial specs.
 
 The experiment engine separates *planning* from *execution*.  A
-:class:`SweepSpec` describes a whole (series x fault-rate x trial) grid;
-:meth:`SweepSpec.expand` flattens it into :class:`TrialSpec` entries, each of
-which derives its random streams purely from its own coordinates.  Because a
-trial's seed never depends on execution order, every executor — serial,
-process pool, or batched — produces bit-identical results for the same spec.
+:class:`SweepSpec` describes a whole (series x fault-rate x trial) grid —
+optionally crossed with a **scenario axis** (fault model, bit-position
+distribution, dtype, voltage operating point; see
+:mod:`repro.experiments.scenarios`) — and :meth:`SweepSpec.expand` flattens it
+into :class:`TrialSpec` entries, each of which derives its random streams
+purely from its own coordinates.  Because a trial's seed never depends on
+execution order, every executor — serial, process pool, or batched — produces
+bit-identical results for the same spec.
+
+The classic single-model fault-rate sweep is the ``scenarios=None`` special
+case: its expansion, seeding, and fingerprint are byte-identical to the
+historical single-axis planner, so existing callers and cache entries keep
+working unchanged.  Scenario grids extend the seed coordinates with the
+scenario index, so every (series, scenario, rate, trial) cell owns an
+independent random stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.experiments.scenarios import Scenario, get_scenario
 from repro.faults.models import FaultModel
 from repro.processor.stochastic import StochasticProcessor
 
@@ -23,6 +34,7 @@ __all__ = [
     "TrialFunction",
     "TrialSpec",
     "SweepSpec",
+    "Scenario",
     "run_trial",
 ]
 
@@ -42,6 +54,11 @@ class TrialSpec:
     The spec carries everything needed to run the trial except the trial
     function itself (functions are looked up by ``series_name`` in the owning
     :class:`SweepSpec`, which keeps specs cheap to ship to worker processes).
+
+    ``scenario_index`` is ``None`` for classic single-axis sweeps; scenario
+    grids set it (together with ``scenario_name`` and, for voltage operating
+    points, ``voltage``) during expansion, and ``fault_model`` then carries
+    the scenario's *resolved* model.
     """
 
     series_name: str
@@ -51,42 +68,86 @@ class TrialSpec:
     fault_rate: float
     seed: int
     fault_model: Union[str, FaultModel] = "leon3-fpu"
+    scenario_index: Optional[int] = None
+    scenario_name: str = ""
+    voltage: Optional[float] = None
 
     def make_stream(self) -> np.random.Generator:
         """The trial's private random stream, derived only from coordinates.
 
-        This reproduces the seeding scheme of the original serial sweep loop
-        (seed, series, rate, trial), so engine results are bit-identical to
-        the historical ``run_fault_rate_sweep`` output.
+        Single-axis sweeps reproduce the seeding scheme of the original
+        serial sweep loop (seed, series, rate, trial), so engine results are
+        bit-identical to the historical ``run_fault_rate_sweep`` output.
+        Scenario-grid trials prepend the scenario index, giving every
+        (scenario, series, rate, trial) cell an independent stream.
         """
-        return np.random.default_rng(
-            [self.seed, self.series_index, self.rate_index, self.trial_index]
-        )
+        if self.scenario_index is None:
+            key = [self.seed, self.series_index, self.rate_index, self.trial_index]
+        else:
+            key = [
+                self.seed,
+                self.scenario_index,
+                self.series_index,
+                self.rate_index,
+                self.trial_index,
+            ]
+        return np.random.default_rng(key)
 
     def make_processor(self, stream: np.random.Generator) -> StochasticProcessor:
-        """A fresh processor for this trial, seeded from ``stream``."""
+        """A fresh processor for this trial, seeded from ``stream``.
+
+        Every trial gets its own processor (and therefore its own
+        :class:`~repro.faults.injector.FaultInjector` with zeroed FLOP/fault
+        counters), so per-trial statistics never leak across trials or
+        scenario sub-batches.
+        """
+        rng = np.random.default_rng(int(stream.integers(0, 2**63 - 1)))
+        if self.voltage is not None:
+            return StochasticProcessor(
+                voltage=float(self.voltage),
+                fault_model=self.fault_model,
+                rng=rng,
+            )
         return StochasticProcessor(
             fault_rate=float(self.fault_rate),
             fault_model=self.fault_model,
-            rng=np.random.default_rng(int(stream.integers(0, 2**63 - 1))),
+            rng=rng,
         )
 
 
 @dataclass
 class SweepSpec:
-    """A full fault-rate sweep: named trial functions over a rate grid."""
+    """A full sweep: named trial functions over a rate grid × scenario axis.
+
+    With ``scenarios=None`` (the default) this is the classic single-model
+    fault-rate sweep, unchanged.  With a ``scenarios`` sequence — preset
+    names or :class:`~repro.experiments.scenarios.Scenario` objects — the
+    grid becomes (series × scenario × rate × trial): each scenario resolves
+    its own fault model and, when pinned by an explicit rate or a voltage
+    operating point, overrides the grid rate for its trials.  ``fault_model``
+    applies to the single-axis form only; scenarios carry their own models.
+    """
 
     trial_functions: Dict[str, TrialFunction]
     fault_rates: Tuple[float, ...] = DEFAULT_FAULT_RATES
     trials: int = 5
     seed: int = 0
     fault_model: Union[str, FaultModel] = "leon3-fpu"
+    scenarios: Optional[Sequence[Union[str, Scenario]]] = None
     _specs: List[TrialSpec] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         self.fault_rates = tuple(float(rate) for rate in self.fault_rates)
         if self.trials < 0:
             raise ValueError(f"trials must be non-negative, got {self.trials}")
+        if self.scenarios is not None:
+            resolved = tuple(get_scenario(scenario) for scenario in self.scenarios)
+            if not resolved:
+                raise ValueError("scenarios must be non-empty when provided")
+            names = [scenario.name for scenario in resolved]
+            if len(set(names)) != len(names):
+                raise ValueError(f"scenario names must be unique, got {names}")
+            self.scenarios = resolved
         self._specs = None
 
     @property
@@ -95,43 +156,88 @@ class SweepSpec:
         return list(self.trial_functions.keys())
 
     def __len__(self) -> int:
-        return len(self.trial_functions) * len(self.fault_rates) * self.trials
+        n_scenarios = len(self.scenarios) if self.scenarios is not None else 1
+        return (
+            len(self.trial_functions) * n_scenarios * len(self.fault_rates) * self.trials
+        )
+
+    def scenario_rates(self, scenario: Scenario) -> List[float]:
+        """The effective fault rate of each grid point under one scenario."""
+        return [scenario.effective_fault_rate(rate) for rate in self.fault_rates]
 
     def expand(self) -> List[TrialSpec]:
-        """Flatten the sweep grid into per-trial specs (cached, stable order)."""
+        """Flatten the sweep grid into per-trial specs (cached, stable order).
+
+        Order is series-major, then scenario, then rate, then trial.  The
+        single-axis form (``scenarios=None``) expands exactly as the
+        historical planner did.
+        """
         if self._specs is None:
-            fault_model = self.fault_model
-            self._specs = [
-                TrialSpec(
-                    series_name=name,
-                    series_index=series_index,
-                    rate_index=rate_index,
-                    trial_index=trial_index,
-                    fault_rate=fault_rate,
-                    seed=self.seed,
-                    fault_model=fault_model,
-                )
-                for series_index, name in enumerate(self.series_names)
-                for rate_index, fault_rate in enumerate(self.fault_rates)
-                for trial_index in range(self.trials)
-            ]
+            if self.scenarios is None:
+                fault_model = self.fault_model
+                self._specs = [
+                    TrialSpec(
+                        series_name=name,
+                        series_index=series_index,
+                        rate_index=rate_index,
+                        trial_index=trial_index,
+                        fault_rate=fault_rate,
+                        seed=self.seed,
+                        fault_model=fault_model,
+                    )
+                    for series_index, name in enumerate(self.series_names)
+                    for rate_index, fault_rate in enumerate(self.fault_rates)
+                    for trial_index in range(self.trials)
+                ]
+            else:
+                resolved_models = [
+                    scenario.resolved_model() for scenario in self.scenarios
+                ]
+                self._specs = [
+                    TrialSpec(
+                        series_name=name,
+                        series_index=series_index,
+                        rate_index=rate_index,
+                        trial_index=trial_index,
+                        fault_rate=scenario.effective_fault_rate(grid_rate),
+                        seed=self.seed,
+                        fault_model=model,
+                        scenario_index=scenario_index,
+                        scenario_name=scenario.name,
+                        voltage=scenario.voltage,
+                    )
+                    for series_index, name in enumerate(self.series_names)
+                    for scenario_index, (scenario, model) in enumerate(
+                        zip(self.scenarios, resolved_models)
+                    )
+                    for rate_index, grid_rate in enumerate(self.fault_rates)
+                    for trial_index in range(self.trials)
+                ]
         return self._specs
 
     def fingerprint(self) -> Dict[str, object]:
         """Content description of the sweep grid, for cache keys.
 
         The fingerprint covers the grid (series names, rates, trials, seed,
-        fault model); it cannot see inside trial-function closures, so cache
-        users must add workload parameters to their key payload themselves.
+        fault model, and — for scenario grids — every scenario's resolved
+        configuration); it cannot see inside trial-function closures, so
+        cache users must add workload parameters to their key payload
+        themselves.  Single-axis sweeps produce the historical payload
+        unchanged, so existing cache entries stay valid.
         """
         model = self.fault_model
-        return {
+        payload: Dict[str, object] = {
             "series": self.series_names,
             "fault_rates": list(self.fault_rates),
             "trials": int(self.trials),
             "seed": int(self.seed),
             "fault_model": model.name if isinstance(model, FaultModel) else str(model),
         }
+        if self.scenarios is not None:
+            payload["scenarios"] = [
+                scenario.fingerprint() for scenario in self.scenarios
+            ]
+        return payload
 
 
 def run_trial(sweep: SweepSpec, spec: TrialSpec) -> float:

@@ -79,9 +79,12 @@ def make_trial_batch(
 
 
 def run_tensor_cell(sweep: SweepSpec, specs: Sequence[TrialSpec]) -> List[float]:
-    """Run one series' trial batch — every (fault rate, trial) at once.
+    """Run one (series, scenario) trial batch — every (fault rate, trial) at once.
 
-    ``specs`` must all belong to one series whose trial function carries a
+    ``specs`` must all belong to one series (and, for scenario grids, one
+    scenario — the :class:`~repro.experiments.executors.VectorizedExecutor`
+    groups per (series, scenario) sub-batch, since dtype, bit distribution,
+    and voltage may vary across scenarios) whose trial function carries a
     ``run_batch`` implementation.  The batch implementation receives one
     processor and one stream per trial (each processor already configured
     with its own spec's fault rate, so a single call spans the whole
@@ -89,6 +92,11 @@ def run_tensor_cell(sweep: SweepSpec, specs: Sequence[TrialSpec]) -> List[float]
     """
     if not specs:
         return []
+    if len({spec.scenario_index for spec in specs}) != 1:
+        raise ValueError(
+            "run_tensor_cell received specs from multiple scenarios; "
+            "group per (series, scenario) sub-batch"
+        )
     function = sweep.trial_functions[specs[0].series_name]
     run_batch = batch_implementation(function)
     if run_batch is None:

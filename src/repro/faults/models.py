@@ -114,12 +114,38 @@ def _low_order_only() -> FaultModel:
     )
 
 
+def _uniform_bits_64() -> FaultModel:
+    return FaultModel(
+        name="uniform-bits-64",
+        dtype=np.dtype(np.float64),
+        bit_distribution=UniformBitDistribution(width=64),
+        description=(
+            "Ablation model: double-precision datapath with faults striking "
+            "every bit position (exponent included) uniformly."
+        ),
+    )
+
+
+def _measured_64() -> FaultModel:
+    return FaultModel(
+        name="measured-64",
+        dtype=np.dtype(np.float64),
+        bit_distribution=MeasuredBitDistribution(width=64),
+        description=(
+            "Double-precision datapath driven by the synthetic 'measured' "
+            "bit-position distribution at 64-bit width."
+        ),
+    )
+
+
 _REGISTRY: Dict[str, Callable[[], FaultModel]] = {
     "leon3-fpu": _leon3_fpu,
     "leon3-fpu-measured": _leon3_fpu_measured,
     "double-precision": _double_precision,
     "uniform-bits": _uniform_bits,
     "low-order-only": _low_order_only,
+    "uniform-bits-64": _uniform_bits_64,
+    "measured-64": _measured_64,
 }
 
 _CUSTOM: Dict[str, FaultModel] = {}

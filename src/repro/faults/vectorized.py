@@ -24,6 +24,10 @@ import numpy as np
 from repro.faults.bitflip import flip_bit_array
 from repro.faults.distribution import BitPositionDistribution
 
+# NOTE: the batch kernels below accept per-trial rates *and* per-trial bit
+# distributions, but executor batches never mix datapath dtypes: scenario
+# grids are split into per-scenario sub-batches before reaching this layer
+# (see repro.experiments.executors), so one fused cast per batch is safe.
 __all__ = [
     "effective_fault_probability",
     "corrupt_array",

@@ -48,7 +48,10 @@ class ProcessorBatch:
         One :class:`StochasticProcessor` per trial row.  The processors must
         share a datapath dtype (they come from one fault model) but may carry
         *different* fault rates — a fault-rate sweep stacks all rates of a
-        series into one batch.
+        series into one batch.  Scenario grids satisfy the shared-dtype
+        requirement by construction: the executors split a grid into
+        per-scenario sub-batches, so a :class:`ProcessorBatch` never spans
+        scenarios (which may differ in dtype and bit distribution).
     """
 
     def __init__(self, procs: Sequence[StochasticProcessor]) -> None:

@@ -38,11 +38,37 @@ def _low_order_only(rng=None, fault_rate: float = 0.05) -> StochasticProcessor:
     )
 
 
+def _voltage_profile(voltage: float) -> Callable[..., StochasticProcessor]:
+    """A Leon3-like processor pinned to a supply-voltage operating point.
+
+    The fault rate is derived from the Figure 5.2 voltage/error-rate curve;
+    an explicit ``fault_rate`` argument overrides the operating point (the
+    processor then reports the voltage implied by that rate instead).
+    """
+
+    def factory(rng=None, fault_rate: Optional[float] = None) -> StochasticProcessor:
+        if fault_rate is not None:
+            return StochasticProcessor(
+                fault_rate=fault_rate, fault_model="leon3-fpu", rng=rng
+            )
+        return StochasticProcessor(voltage=voltage, fault_model="leon3-fpu", rng=rng)
+
+    return factory
+
+
 _PROFILES: Dict[str, Callable[..., StochasticProcessor]] = {
     "reliable": _reliable,
     "leon3-overscaled": _leon3_overscaled,
     "double-precision": _double_precision,
     "low-order-only": _low_order_only,
+    # Voltage operating points of the Figure 5.2 curve — convenience presets
+    # for scripts and examples that want a ready-made processor at a named
+    # operating point.  (The scenario-grid machinery builds its processors
+    # from Scenario specs directly; see repro.experiments.scenarios.)
+    "overscaled-0.80V": _voltage_profile(0.80),
+    "overscaled-0.70V": _voltage_profile(0.70),
+    "overscaled-0.65V": _voltage_profile(0.65),
+    "overscaled-0.60V": _voltage_profile(0.60),
 }
 
 

@@ -104,12 +104,17 @@ class VoltageErrorModel:
 
         This is the key query for the energy analysis: given the error rate an
         application can tolerate, how far can the voltage be scaled down?
-        Error rates below the model's minimum return the maximum voltage;
-        error rates above its maximum return the minimum voltage.
+        Error rates below the model's minimum anchor return the maximum
+        voltage; error rates above its maximum anchor (but still valid
+        probabilities) return the minimum voltage.  Error rates outside
+        ``(0, 1]`` are not probabilities and raise
+        :class:`~repro.exceptions.VoltageModelError`.
         """
         error_rate = float(error_rate)
-        if error_rate <= 0:
-            raise VoltageModelError("error rate must be positive")
+        if not 0.0 < error_rate <= 1.0:
+            raise VoltageModelError(
+                f"error rate must be a probability in (0, 1], got {error_rate}"
+            )
         log_rate = np.log10(error_rate)
         if log_rate <= self._log_rates[0]:
             return self.max_voltage

@@ -31,6 +31,12 @@ class TestRegistryContents:
             "maxflow",
             "apsp",
             "svm",
+            "sorting_cross_model",
+            "least_squares_cross_model",
+            "matching_cross_model",
+            "sorting_voltage",
+            "least_squares_voltage",
+            "matching_voltage",
         ]
 
     def test_batched_tier_covers_the_sweep_suite(self):
@@ -47,6 +53,12 @@ class TestRegistryContents:
             "maxflow",
             "apsp",
             "svm",
+            "sorting_cross_model",
+            "least_squares_cross_model",
+            "matching_cross_model",
+            "sorting_voltage",
+            "least_squares_voltage",
+            "matching_voltage",
         }
         assert {spec.name for spec in kernels.sweep_kernels()} == batched
 
@@ -140,6 +152,13 @@ class TestKernelSpecDerivations:
         # The energy search trims one trial; the text tables take none.
         assert kernels.get_kernel("energy").reduced_kwargs(3, 0.25) == {"trials": 2}
         assert kernels.get_kernel("flop_costs").reduced_kwargs(3, 0.25) == {}
+        # figure_5_2 now runs a Monte-Carlo scenario grid, so --trials and
+        # --executor must reach it even though it is not a sweep kernel.
+        assert kernels.get_kernel("voltage_curve").reduced_kwargs(3, 0.25) == {
+            "trials": 3,
+        }
+        assert kernels.get_kernel("voltage_curve").takes_engine
+        assert not kernels.get_kernel("flop_costs").takes_engine
         # The extension kernels scale their own budgets with their own floors.
         assert kernels.get_kernel("eigen").reduced_kwargs(3, 0.25) == {
             "trials": 3,

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.exceptions import FaultModelError, VoltageModelError
 from repro.processor.energy import EnergyModel
@@ -36,6 +38,39 @@ class TestVoltageModel:
     def test_invalid_rate_raises(self):
         with pytest.raises(VoltageModelError):
             VoltageErrorModel().voltage_for_error_rate(0.0)
+
+    @given(
+        log_rate=st.floats(min_value=-9.0, max_value=np.log10(0.5), exclude_max=True)
+    )
+    def test_round_trip_property_within_anchor_range(self, log_rate):
+        """voltage_for_error_rate / error_rate are exact inverses in range.
+
+        Both directions interpolate linearly in (voltage, log10 rate) space
+        over the same anchors, so any error rate inside the anchor range
+        must round-trip through its voltage up to floating-point error.
+        """
+        model = VoltageErrorModel()
+        rate = float(10.0**log_rate)
+        voltage = model.voltage_for_error_rate(rate)
+        assert model.min_voltage <= voltage <= model.max_voltage
+        assert model.error_rate(voltage) == pytest.approx(rate, rel=1e-9)
+
+    @given(rate=st.floats(min_value=0.5, max_value=1.0))
+    def test_rates_above_anchor_range_clamp_to_min_voltage(self, rate):
+        model = VoltageErrorModel()
+        assert model.voltage_for_error_rate(rate) == model.min_voltage
+
+    @given(
+        rate=st.one_of(
+            st.floats(max_value=0.0, allow_nan=False),
+            st.floats(min_value=1.0, exclude_min=True, allow_nan=False,
+                      allow_infinity=False),
+        )
+    )
+    def test_out_of_range_rates_raise_cleanly(self, rate):
+        """Rates outside (0, 1] are not probabilities: always a clean error."""
+        with pytest.raises(VoltageModelError, match="probability"):
+            VoltageErrorModel().voltage_for_error_rate(rate)
 
     def test_curve_shape(self):
         voltages, rates = VoltageErrorModel().curve(n_points=20)
@@ -159,3 +194,35 @@ class TestProfiles:
     def test_unknown_profile_raises(self):
         with pytest.raises(FaultModelError):
             get_processor("missing-profile")
+
+    def test_voltage_profiles_sit_on_the_figure_5_2_curve(self):
+        model = VoltageErrorModel()
+        for name, voltage in (
+            ("overscaled-0.80V", 0.80),
+            ("overscaled-0.70V", 0.70),
+            ("overscaled-0.65V", 0.65),
+            ("overscaled-0.60V", 0.60),
+        ):
+            proc = get_processor(name)
+            assert proc.voltage == pytest.approx(voltage)
+            assert proc.fault_rate == pytest.approx(model.error_rate(voltage))
+
+    def test_voltage_profile_explicit_rate_overrides_operating_point(self):
+        proc = get_processor("overscaled-0.70V", fault_rate=0.3)
+        assert proc.fault_rate == 0.3
+        # The processor then reports the voltage implied by that rate.
+        assert proc.voltage == pytest.approx(
+            VoltageErrorModel().voltage_for_error_rate(0.3)
+        )
+
+    def test_wide_datapath_fault_model_presets(self):
+        from repro.faults.models import get_fault_model
+
+        for name, family in (
+            ("uniform-bits-64", "UniformBitDistribution"),
+            ("measured-64", "MeasuredBitDistribution"),
+        ):
+            model = get_fault_model(name)
+            assert model.dtype == np.dtype(np.float64)
+            assert model.bit_distribution.width == 64
+            assert type(model.bit_distribution).__name__ == family
