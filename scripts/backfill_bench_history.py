@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Seed the perf-trajectory histories from checked-in BENCH_*.json records.
+
+Each ``BENCH_<kernel>.json`` snapshot in the bench directory becomes the
+first record of ``benchmarks/history/<kernel>.jsonl``, so the regression
+gate (``scripts/check_bench_regression.py``) has a baseline from day one.
+Backfilled records carry the machine marker ``{"source": "backfill"}``
+instead of a real fingerprint — the host that produced the historical
+snapshots is unknown, and the marker keeps them comparable only among
+themselves, never against live runs from other machines.
+
+Idempotent: kernels that already have a history file are skipped unless
+``--force`` is given (which rewrites the seed record).  Run from the
+repository root:
+
+    PYTHONPATH=src python scripts/backfill_bench_history.py
+        [--bench-dir DIR] [--history-dir DIR] [--force]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import benchhistory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Machine marker of records whose producing host is unknown.
+BACKFILL_MACHINE = {"source": "backfill"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", type=Path, default=REPO_ROOT,
+                        help="where BENCH_<kernel>.json files live "
+                        "(default: repo root)")
+    parser.add_argument("--history-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks" / "history",
+                        help="history directory (default: benchmarks/history)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-seed kernels that already have a history")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    bench_files = sorted(args.bench_dir.glob("BENCH_*.json"))
+    if not bench_files:
+        print(f"[backfill] no BENCH_*.json files under {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+    seeded = skipped = 0
+    for bench_file in bench_files:
+        bench = json.loads(bench_file.read_text())
+        kernel = bench["kernel"]
+        path = benchhistory.history_path(args.history_dir, kernel)
+        if path.exists() and not args.force:
+            skipped += 1
+            continue
+        record = benchhistory.history_record_from_bench(
+            bench,
+            machine=BACKFILL_MACHINE,
+            source=f"backfill({bench_file.name})",
+        )
+        if path.exists():
+            path.unlink()
+        benchhistory.append_record(args.history_dir, record)
+        seeded += 1
+        print(f"[backfill] {kernel} <- {bench_file.name}")
+    print(f"[backfill] seeded {seeded} histories, skipped {skipped} existing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

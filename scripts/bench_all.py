@@ -12,8 +12,16 @@ checked-in artefacts.
 Run from the repository root:
 
     PYTHONPATH=src python scripts/bench_all.py [--only NAME ...]
-        [--output-dir DIR] [--trials N] [--lp-iterations N]
-        [--numeric-iterations N]
+        [--output-dir DIR] [--trials N] [--scale FRACTION]
+        [--append-history] [--history-dir DIR]
+
+``--scale`` shrinks every kernel's own paper iteration budget by the given
+fraction (respecting per-kernel floors); there are no per-family iteration
+flags.  With ``--append-history`` each record is additionally appended to
+the per-kernel perf-trajectory history
+(``benchmarks/history/<kernel>.jsonl`` — see
+``repro.experiments.benchhistory`` and ``docs/benchmarks.md``), which is
+what ``scripts/check_bench_regression.py`` gates CI on.
 
 Sweep kernels run twice — once under the ``serial`` reference executor and
 once under ``vectorized`` (the tensorized trial backend) — and the two series
@@ -37,11 +45,14 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import kernels
+from repro.experiments import benchhistory, kernels
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import run_scenario_grid
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default location of the per-kernel perf-trajectory histories.
+DEFAULT_HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
 
 #: Scenario presets of the BENCH_scenario_grid record (one float64 scenario,
 #: so the record also covers mixed-dtype sub-batching).
@@ -71,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.2,
                         help="fraction of each kernel's paper iteration budget "
                         "(default: 0.2)")
+    parser.add_argument("--append-history", action="store_true",
+                        help="also append each record to the per-kernel "
+                        "perf-trajectory history (benchmarks/history/*.jsonl)")
+    parser.add_argument("--history-dir", type=Path, default=DEFAULT_HISTORY_DIR,
+                        help="where history JSONL files live "
+                        "(default: benchmarks/history)")
     return parser
 
 
@@ -182,12 +199,21 @@ def main() -> int:
         specs = kernels.list_kernels()
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    def record_history(record: dict) -> None:
+        if not args.append_history:
+            return
+        history_record = benchhistory.history_record_from_bench(record)
+        path = benchhistory.append_record(args.history_dir, history_record)
+        print(f"  history -> {path}")
+
     failures = []
     if grid_requested:
         print("[bench_all] scenario_grid (ScenarioGrid path) ...", flush=True)
         record = bench_scenario_grid(args)
         path = args.output_dir / "BENCH_scenario_grid.json"
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        record_history(record)
         verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
         print(
             f"  serial {record['serial_seconds']:.2f}s, batched "
@@ -202,6 +228,7 @@ def main() -> int:
         record = bench_kernel(spec, args)
         path = args.output_dir / f"BENCH_{spec.name}.json"
         path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        record_history(record)
         if record["sweep"]:
             verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
             print(

@@ -9,10 +9,18 @@ ScenarioGrid counterpart of the engine's executor-equivalence contract.
 Run from the repository root:
 
     PYTHONPATH=src python scripts/smoke_scenario_grid.py
+        [--iterations N] [--trials N] [--executor NAME ...]
+
+Exit codes: 0 when every executor matches the serial reference bit for bit,
+1 on any mismatch (or an unexpected series layout).  ``--iterations`` /
+``--trials`` / ``--executor`` shrink or widen the grid — the defaults are
+the CI configuration, the test suite drives a tiny grid through the same
+code path.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments.engine import ExperimentEngine
@@ -22,40 +30,62 @@ from repro.experiments.runner import run_scenario_grid
 SCENARIOS = ("nominal", "low-order-seu")
 FAULT_RATES = (0.05, 0.2)
 EXECUTORS = ("serial", "process", "batched", "vectorized")
+SERIES = ("Base", "SGD+AS,SQS")
 
 
-def main() -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=500,
+                        help="sorting iteration budget per trial (default: 500)")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="trials per (series, scenario, rate) cell "
+                        "(default: 2)")
+    parser.add_argument("--executor", action="append", default=None,
+                        metavar="NAME", choices=EXECUTORS,
+                        help="executor to compare against serial (repeatable; "
+                        "default: process, batched, vectorized)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    chosen = args.executor or list(EXECUTORS[1:])
+    executors = ("serial", *(name for name in chosen if name != "serial"))
+    if len(executors) < 2:
+        print("[smoke] need at least one executor besides the serial "
+              "reference", file=sys.stderr)
+        return 2
     functions = sorting_kernel(
-        iterations=500, series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
+        iterations=args.iterations, series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
     )
     results = {}
-    for executor in EXECUTORS:
+    for executor in executors:
         series = run_scenario_grid(
             functions,
             SCENARIOS,
             fault_rates=FAULT_RATES,
-            trials=2,
+            trials=args.trials,
             seed=2010,
             engine=ExperimentEngine(executor),
         )
         results[executor] = [(s.name, s.fault_rates, s.values) for s in series]
         print(f"[smoke] {executor:10s} -> {len(series)} series ok", flush=True)
 
-    reference = results["serial"]
-    mismatches = [name for name in EXECUTORS[1:] if results[name] != reference]
+    reference = results[executors[0]]
+    mismatches = [name for name in executors[1:] if results[name] != reference]
     if mismatches:
         print(f"[smoke] BIT-IDENTITY FAILURES vs serial: {mismatches}", file=sys.stderr)
         return 1
     names = [entry[0] for entry in reference]
     expected = [
-        f"{series} @ {scenario}"
-        for series in ("Base", "SGD+AS,SQS")
-        for scenario in SCENARIOS
+        f"{series} @ {scenario}" for series in SERIES for scenario in SCENARIOS
     ]
     if names != expected:
         print(f"[smoke] unexpected series layout: {names}", file=sys.stderr)
         return 1
-    print("[smoke] scenario grid bit-identical across serial/process/batched/vectorized")
+    print(
+        "[smoke] scenario grid bit-identical across " + "/".join(executors)
+    )
     return 0
 
 

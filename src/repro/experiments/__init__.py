@@ -83,6 +83,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.runner import run_fault_rate_sweep, run_scenario_grid
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
+from repro.experiments import benchhistory
 from repro.experiments import figures
 from repro.experiments import kernels
 from repro.experiments import tensor
@@ -123,6 +124,7 @@ __all__ = [
     "format_figure",
     "figure_to_rows",
     "save_figure_report",
+    "benchhistory",
     "figures",
     "kernels",
     "tensor",

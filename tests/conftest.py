@@ -9,9 +9,12 @@ from hypothesis import HealthCheck, settings
 from repro.processor.stochastic import StochasticProcessor
 
 # Property tests run under named Hypothesis profiles: "ci" digs deeper (more
-# examples, no deadline — shared runners have noisy timing) while "local"
-# keeps the suite fast at a desk.  Select with HYPOTHESIS_PROFILE=ci; the
-# default is "local".
+# examples, no deadline — shared runners have noisy timing), "local" keeps
+# the suite fast at a desk, and "determinism" derandomizes the search so the
+# bench-gate and smoke CI jobs replay the exact same example sequence on
+# every run — a perf gate must never go red because the property search got
+# unlucky.  Select with HYPOTHESIS_PROFILE=ci|local|determinism; the default
+# is "local".
 settings.register_profile(
     "ci",
     max_examples=200,
@@ -21,6 +24,13 @@ settings.register_profile(
 settings.register_profile(
     "local",
     max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "determinism",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "local"))

@@ -1,0 +1,130 @@
+"""Stateful property suite for the on-disk :class:`ResultCache`.
+
+A :class:`~hypothesis.stateful.RuleBasedStateMachine` drives the cache
+through interleaved store / load / evict / tear / concurrent-writer steps
+against an in-memory model and checks the contract the engine relies on:
+
+* ``load`` returns exactly the last figure stored under a payload, and
+  ``None`` for payloads never stored or since evicted;
+* deleting or corrupting an entry file (the "tear": a truncated write, a
+  stale schema, raw garbage) degrades that payload to a *miss*, never to an
+  exception or to another payload's figure;
+* two cache handles on the same directory behave as one cache (last store
+  wins), mirroring concurrent processes sharing a cache dir;
+* no step ever leaves ``*.tmp`` droppings behind in the cache directory.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.experiments.cache import ResultCache, spec_hash
+from repro.experiments.results import FigureResult, SeriesResult
+
+# A small closed universe of payload keys makes store/load/evict collisions
+# (the interesting interleavings) likely within a short rule sequence.
+payloads = st.fixed_dictionaries(
+    {
+        "kernel": st.sampled_from(["sorting", "cg", "svm"]),
+        "trials": st.integers(min_value=1, max_value=3),
+        "seed": st.sampled_from([0, 2010]),
+    }
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+figures = st.builds(
+    lambda fid, values: FigureResult(
+        figure_id=fid,
+        title=f"figure {fid}",
+        x_label="rate",
+        y_label="value",
+        series=[
+            SeriesResult(name="series", fault_rates=[0.1], values=[values]),
+        ],
+    ),
+    fid=st.sampled_from(["6.1", "6.2", "grid"]),
+    values=st.lists(finite_floats, min_size=1, max_size=4),
+)
+
+#: Entry-file corruptions: truncated writes, non-JSON garbage, a JSON body
+#: from a future schema, and a schema-valid body with a mangled figure.
+tears = st.sampled_from(
+    [
+        "",
+        "{",
+        "not json at all",
+        json.dumps({"schema": 999, "figure": {}}),
+        json.dumps({"schema": 1, "figure": {"series": "broken"}}),
+    ]
+)
+
+
+class ResultCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.directory = Path(tempfile.mkdtemp(prefix="cache-machine-"))
+        self.cache = ResultCache(self.directory)
+        # A second handle on the same directory: concurrent users share
+        # entries and must agree with the single-cache model.
+        self.other_cache = ResultCache(self.directory)
+        self.model = {}  # spec_hash -> figure.to_dict()
+
+    def _entry_path(self, payload) -> Path:
+        return self.directory / f"{spec_hash(payload)}.json"
+
+    @rule(payload=payloads, figure=figures)
+    def store(self, payload, figure):
+        path = self.cache.store(payload, figure)
+        assert path == self._entry_path(payload)
+        self.model[spec_hash(payload)] = figure.to_dict()
+
+    @rule(payload=payloads, figure=figures)
+    def store_via_second_handle(self, payload, figure):
+        self.other_cache.store(payload, figure)
+        self.model[spec_hash(payload)] = figure.to_dict()
+
+    @rule(payload=payloads)
+    def load(self, payload):
+        result = self.cache.load(payload)
+        expected = self.model.get(spec_hash(payload))
+        if expected is None:
+            assert result is None
+        else:
+            assert result is not None and result.to_dict() == expected
+
+    @rule(payload=payloads)
+    def evict(self, payload):
+        self._entry_path(payload).unlink(missing_ok=True)
+        self.model.pop(spec_hash(payload), None)
+
+    @rule(payload=payloads, junk=tears)
+    def tear(self, payload, junk):
+        # Simulate a torn/corrupted entry the atomic-rename path is meant to
+        # prevent; however it got there, the cache must treat it as a miss.
+        self._entry_path(payload).parent.mkdir(parents=True, exist_ok=True)
+        self._entry_path(payload).write_text(junk)
+        self.model.pop(spec_hash(payload), None)
+
+    @invariant()
+    def caches_agree_and_no_tmp_droppings(self):
+        assert not list(self.directory.glob("*.tmp"))
+        for key, expected in self.model.items():
+            for cache in (self.cache, self.other_cache):
+                path = cache.directory / f"{key}.json"
+                entry = json.loads(path.read_text())
+                assert entry["figure"] == expected
+
+    def teardown(self):
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+TestResultCache = ResultCacheMachine.TestCase
+TestResultCache.settings = settings(
+    max_examples=40, stateful_step_count=25, deadline=None
+)

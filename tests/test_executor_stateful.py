@@ -1,0 +1,126 @@
+"""Stateful property suite for the executor bit-identity contract.
+
+Randomly grown sweep specifications — series sets mixing batchable and
+serial-only trial functions, fault-rate grids, trial counts, seeds, and
+optional scenario axes (including a mixed-dtype grid that forces the batched
+tiers' per-dtype sub-batching) — are executed under the ``serial`` reference
+and the ``batched`` / ``vectorized`` tiers, and every executor must produce
+bit-identical series.  This is the invariant the perf-trajectory gate's
+``bit_identical`` field records and the aggressive engine refactors on the
+roadmap must preserve; the state machine hunts for the spec *shapes* (empty
+grids, single trials, scenario/dtype mixes) where a tier could silently
+diverge, rather than checking one hand-picked spec per test.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.experiments.runner import run_fault_rate_sweep, run_scenario_grid
+from repro.experiments.trials import make_noisy_sum_trial
+
+EXECUTORS = ("serial", "batched", "vectorized")
+
+#: Scenario axes worth hunting over: none (classic sweep), a two-model grid,
+#: and a grid mixing datapath dtypes (float32 nominal + float64 preset),
+#: which forces the batched tiers into per-dtype sub-batches.
+SCENARIO_AXES = (
+    None,
+    ("nominal", "low-order-seu"),
+    ("nominal", "double-precision-64"),
+)
+
+
+def make_plain_sum_trial(n: int):
+    """A serial-only (non-batchable) twin of the noisy-sum microworkload."""
+
+    def trial(proc, stream) -> float:
+        corrupted = proc.corrupt(stream.random(n), ops_per_element=4)
+        return float(np.sum(corrupted))
+
+    return trial
+
+
+#: (label, factory) pool: batchable workloads of two sizes plus a
+#: serial-only one, so batches can mix fast-path and fallback series.
+SERIES_POOL = {
+    "sum8": lambda: make_noisy_sum_trial(n=8, ops_per_element=4),
+    "sum16": lambda: make_noisy_sum_trial(n=16, ops_per_element=4),
+    "plain": lambda: make_plain_sum_trial(n=8),
+}
+
+
+class ExecutorEquivalenceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.series = {}
+        self.fault_rates = (0.05, 0.2)
+        self.trials = 2
+        self.seed = 0
+        self.scenarios = None
+
+    @rule(name=st.sampled_from(sorted(SERIES_POOL)))
+    def add_series(self, name):
+        if len(self.series) < 3 or name in self.series:
+            self.series[name] = SERIES_POOL[name]()
+
+    @rule(
+        rates=st.lists(
+            st.sampled_from([0.001, 0.05, 0.2, 0.5]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    def set_rates(self, rates):
+        self.fault_rates = tuple(rates)
+
+    @rule(trials=st.integers(min_value=1, max_value=3))
+    def set_trials(self, trials):
+        self.trials = trials
+
+    @rule(seed=st.integers(min_value=0, max_value=2**16))
+    def set_seed(self, seed):
+        self.seed = seed
+
+    @rule(axis=st.sampled_from(SCENARIO_AXES))
+    def set_scenarios(self, axis):
+        self.scenarios = axis
+
+    @precondition(lambda self: self.series)
+    @rule()
+    def executors_agree(self):
+        results = {}
+        for executor in EXECUTORS:
+            if self.scenarios is None:
+                series = run_fault_rate_sweep(
+                    self.series,
+                    fault_rates=self.fault_rates,
+                    trials=self.trials,
+                    seed=self.seed,
+                    engine=executor,
+                )
+            else:
+                series = run_scenario_grid(
+                    self.series,
+                    self.scenarios,
+                    fault_rates=self.fault_rates,
+                    trials=self.trials,
+                    seed=self.seed,
+                    engine=executor,
+                )
+            results[executor] = [(s.name, s.fault_rates, s.values) for s in series]
+        for executor in EXECUTORS[1:]:
+            assert results[executor] == results["serial"], (
+                f"{executor} diverged from serial on spec: "
+                f"series={sorted(self.series)}, rates={self.fault_rates}, "
+                f"trials={self.trials}, seed={self.seed}, "
+                f"scenarios={self.scenarios}"
+            )
+
+
+TestExecutorEquivalence = ExecutorEquivalenceMachine.TestCase
+TestExecutorEquivalence.settings = settings(
+    max_examples=20, stateful_step_count=12, deadline=None
+)

@@ -1,0 +1,191 @@
+"""Exit-code contracts of the CI gate scripts.
+
+CI trusts two scripts to turn red at the right moment:
+``scripts/smoke_scenario_grid.py`` (executor bit-identity) and
+``scripts/check_bench_regression.py`` (perf trajectory).  These tests pin
+the contract — a regression or mismatch yields a nonzero exit that *names
+the offending kernel/executor*, a clean run yields zero — by driving the
+scripts' ``main()`` directly (tiny grids for the real path, monkeypatched
+sweeps and scratch histories for the failure injections).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import benchhistory as bh
+from repro.experiments.results import SeriesResult
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+
+
+def load_script(name: str):
+    """Import a scripts/*.py module under a test-private module name."""
+    path = REPO_ROOT / "scripts" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"_script_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return load_script("smoke_scenario_grid")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return load_script("check_bench_regression")
+
+
+def fake_grid_series(functions, scenarios, salt=0.0):
+    """The series layout run_scenario_grid produces, with stub values."""
+    return [
+        SeriesResult(
+            name=f"{series} @ {scenario}",
+            fault_rates=[0.05, 0.2],
+            values=[[1.0 + salt], [0.5 + salt]],
+        )
+        for series in functions
+        for scenario in scenarios
+    ]
+
+
+class TestSmokeScenarioGrid:
+    def test_tiny_real_grid_exits_zero(self, smoke):
+        # The real path at toy scale: serial vs batched vs vectorized on a
+        # 2-scenario x 2-rate sorting grid with a tiny iteration budget.
+        code = smoke.main(
+            ["--iterations", "40", "--trials", "1",
+             "--executor", "batched", "--executor", "vectorized"]
+        )
+        assert code == 0
+
+    def test_mismatching_executor_exits_nonzero(self, smoke, monkeypatch, capsys):
+        calls = {"count": 0}
+
+        def diverging_grid(functions, scenarios, **kwargs):
+            calls["count"] += 1
+            # Every executor after the serial reference returns different
+            # trial values, as a broken batched tier would.
+            return fake_grid_series(functions, scenarios, salt=calls["count"])
+
+        monkeypatch.setattr(smoke, "run_scenario_grid", diverging_grid)
+        code = smoke.main(["--executor", "batched", "--executor", "vectorized"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "batched" in err and "vectorized" in err
+
+    def test_consistent_executors_exit_zero(self, smoke, monkeypatch):
+        monkeypatch.setattr(
+            smoke,
+            "run_scenario_grid",
+            lambda functions, scenarios, **kwargs: fake_grid_series(
+                functions, scenarios
+            ),
+        )
+        code = smoke.main(["--executor", "batched"])
+        assert code == 0
+
+    def test_no_comparison_executor_is_usage_error(self, smoke):
+        assert smoke.main(["--executor", "serial"]) == 2
+
+
+def seed_history(tmp_path, kernel="sorting", wall=1.0, **overrides):
+    record = {
+        "schema": bh.SCHEMA_VERSION,
+        "kernel": kernel,
+        "commit": None,
+        "timestamp": "2026-08-07T00:00:00+00:00",
+        "generated_by": "tests",
+        "params": {"trials": 3, "iterations": 2000},
+        "machine": {"source": "test"},
+        "wall_seconds": wall,
+        "serial_seconds": wall * 4,
+        "speedup_vs_serial": 4.0,
+        "bit_identical": True,
+    }
+    record.update(overrides)
+    bh.append_record(tmp_path, record)
+    return record
+
+
+class TestCheckBenchRegression:
+    def test_backfilled_repo_histories_are_clean(self, gate, capsys):
+        # The checked-in seed histories must pass the gate: this is the
+        # acceptance bar for shipping the backfill.
+        assert HISTORY_DIR.is_dir(), "benchmarks/history backfill is missing"
+        code = gate.main(["--history-dir", str(HISTORY_DIR), "--explain"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_injected_wall_regression_names_kernel(self, gate, tmp_path, capsys):
+        seed_history(tmp_path, wall=1.0)
+        seed_history(tmp_path, wall=2.0)  # 2x the seed: outside the +25% band
+        code = gate.main(
+            ["--history-dir", str(tmp_path), "--no-registry-check"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "sorting" in err and "wall" in err
+
+    def test_bit_identity_flip_names_kernel(self, gate, tmp_path, capsys):
+        seed_history(tmp_path, kernel="svm")
+        seed_history(tmp_path, kernel="svm", bit_identical=False)
+        code = gate.main(["--history-dir", str(tmp_path), "--no-registry-check"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "svm" in err and "bit" in err
+
+    def test_clean_scratch_history_exits_zero(self, gate, tmp_path):
+        seed_history(tmp_path, wall=1.0)
+        seed_history(tmp_path, wall=1.1)
+        code = gate.main(["--history-dir", str(tmp_path), "--no-registry-check"])
+        assert code == 0
+
+    def test_vanished_kernel_fails_against_registry(self, gate, tmp_path, capsys):
+        seed_history(tmp_path, kernel="long_gone_kernel")
+        code = gate.main(["--history-dir", str(tmp_path)])
+        assert code == 1
+        assert "long_gone_kernel" in capsys.readouterr().err
+
+    def test_write_baseline_accepts_intentional_change(self, gate, tmp_path):
+        seed_history(tmp_path, wall=1.0)
+        seed_history(tmp_path, wall=1.0)
+        seed_history(tmp_path, wall=3.0)  # intentional slowdown
+        assert gate.main(
+            ["--history-dir", str(tmp_path), "--no-registry-check"]
+        ) == 1
+        assert gate.main(
+            ["--history-dir", str(tmp_path), "--write-baseline"]
+        ) == 0
+        assert (tmp_path / bh.BASELINES_FILENAME).is_file()
+        seed_history(tmp_path, wall=3.1)
+        assert gate.main(
+            ["--history-dir", str(tmp_path), "--no-registry-check"]
+        ) == 0
+
+    def test_missing_history_dir_is_usage_error(self, gate, tmp_path):
+        assert gate.main(["--history-dir", str(tmp_path / "absent")]) == 2
+
+    def test_corrupt_history_is_usage_error(self, gate, tmp_path, capsys):
+        path = bh.history_path(tmp_path, "sorting")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"schema": 1, "kernel": "sorting"\n')
+        code = gate.main(["--history-dir", str(tmp_path), "--no-registry-check"])
+        assert code == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_gate_matches_bench_all_append_format(self, gate, tmp_path):
+        # A record appended the way bench_all.py does it (via
+        # history_record_from_bench) must be gate-readable as-is.
+        bench = json.loads((REPO_ROOT / "BENCH_svm.json").read_text())
+        record = bh.history_record_from_bench(bench)
+        bh.append_record(tmp_path, record)
+        code = gate.main(["--history-dir", str(tmp_path), "--no-registry-check"])
+        assert code == 0
