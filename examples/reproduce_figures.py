@@ -16,7 +16,16 @@ Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
           [--executor {serial,process,batched,vectorized,auto}] [--workers N]
           [--only NAME [--only NAME ...]] [--trials N]
           [--grid] [--scenario NAME [--scenario NAME ...]]
+          [--budget {fixed,adaptive}] [--budget-half-width W]
+          [--budget-max-trials N] [--budget-confidence C]
           [--cache-dir DIR | --no-cache] [--refresh] [--progress]
+
+``--budget adaptive`` (scenario-grid studies only) replaces the fixed
+per-point trial count with the engine's confidence-target mode: each
+(series, scenario, rate) point runs in batched rounds until its CI
+half-width reaches ``--budget-half-width``, capped at
+``--budget-max-trials`` — see ``docs/adaptive.md``.  Adaptive studies cache
+under budget-aware keys, so they never collide with fixed-count entries.
 
 ``--only`` accepts registry kernel names (``sorting``, ``cg_least_squares``,
 ...; see ``--list``) or the historical figure generator names
@@ -67,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "the cross-model comparison set)")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="list the registered scenario presets and exit")
+    parser.add_argument("--budget", choices=("fixed", "adaptive"), default="fixed",
+                        help="trial budget: 'fixed' runs the classic per-point "
+                        "trial count, 'adaptive' (with --grid) runs each point "
+                        "to a CI half-width target")
+    parser.add_argument("--budget-half-width", type=float, default=None,
+                        metavar="W", help="CI half-width target for --budget "
+                        "adaptive (default: 0.05)")
+    parser.add_argument("--budget-max-trials", type=int, default=None,
+                        metavar="N", help="hard per-point trial cap for "
+                        "--budget adaptive (default: 40)")
+    parser.add_argument("--budget-confidence", type=float, default=None,
+                        metavar="C", help="confidence level for --budget "
+                        "adaptive (default: 0.95)")
     parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
                         help="figure cache directory (default: .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
@@ -107,9 +129,38 @@ def resolve_scenarios(names):
         raise SystemExit(f"{error.args[0]}")
 
 
-def main() -> None:
+def resolve_policy(parser, args):
+    """Build the BudgetPolicy selected by the ``--budget*`` flags (or None)."""
+    tuning = {
+        "--budget-half-width": args.budget_half_width,
+        "--budget-max-trials": args.budget_max_trials,
+        "--budget-confidence": args.budget_confidence,
+    }
+    if args.budget != "adaptive":
+        set_flags = sorted(name for name, value in tuning.items() if value is not None)
+        if set_flags:
+            parser.error(f"{', '.join(set_flags)} require(s) --budget adaptive")
+        return None
+    if not args.grid:
+        parser.error("--budget adaptive requires --grid (scenario-grid studies)")
+    from repro.experiments.sequential import ConfidenceTarget
+
+    try:
+        return ConfidenceTarget(
+            half_width=(0.05 if args.budget_half_width is None
+                        else args.budget_half_width),
+            confidence=(0.95 if args.budget_confidence is None
+                        else args.budget_confidence),
+            max_trials=(40 if args.budget_max_trials is None
+                        else args.budget_max_trials),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+
+def main(argv=None) -> None:
     parser = build_parser()
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     if args.list_scenarios:
         for name in list_scenarios():
             scenario = get_scenario(name)
@@ -138,6 +189,7 @@ def main() -> None:
         parser.error(f"--workers must be positive, got {args.workers}")
     if args.trials is not None and args.trials < 0:
         parser.error(f"--trials must be non-negative, got {args.trials}")
+    policy = resolve_policy(parser, args)
 
     scale = 1.0 if args.paper_scale else 0.25
     trials = args.trials if args.trials is not None else (5 if args.paper_scale else 3)
@@ -183,11 +235,16 @@ def main() -> None:
                 "fault_rates": list(DEFAULT_FAULT_RATES),
                 "params": spec.cache_params(dict(kwargs, trials=grid_trials)),
             }
+            if policy is not None:
+                # Budget-aware key: adaptive studies must never replay a
+                # fixed-count cache entry (or vice versa).
+                key["budget"] = policy.fingerprint()
             figure = engine.run_figure(
                 key,
                 lambda: spec.build_scenario_study(
                     scenarios, trials=grid_trials,
-                    fault_rates=DEFAULT_FAULT_RATES, engine=engine, **kwargs
+                    fault_rates=DEFAULT_FAULT_RATES, engine=engine,
+                    policy=policy, **kwargs
                 ),
                 refresh=args.refresh,
             )

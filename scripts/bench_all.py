@@ -33,6 +33,14 @@ The pseudo-kernel name ``scenario_grid`` (run by default, or selectable via
 cross-fault-model sorting grid executed under the serial, batched, and
 vectorized executors, recorded as ``BENCH_scenario_grid.json`` with the
 batched-tier speedups and a bit-identity verdict.
+
+The pseudo-kernel name ``adaptive`` benchmarks the engine's
+confidence-target mode against its fixed-count twin on a sorting scenario
+grid *at equal reported precision*: the fixed run's worst per-point Wilson
+half-width becomes the adaptive run's target, so both runs guarantee the
+same interval width while the adaptive one stops converged points early.
+``BENCH_adaptive.json`` records both wall times, the speedup, the trial
+counts, and a bit-identity verdict across the batched executor tiers.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from pathlib import Path
 from repro.experiments import benchhistory, kernels
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import run_scenario_grid
+from repro.experiments.sequential import ConfidenceTarget, wilson_half_width
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -186,11 +195,105 @@ def bench_scenario_grid(args) -> dict:
     }
 
 
+#: Scenario presets of the BENCH_adaptive record (kept to two scenarios so
+#: the fixed-count twin stays affordable at the larger trial budget).
+ADAPTIVE_SCENARIOS = ("nominal", "low-order-seu")
+
+
+def bench_adaptive(args) -> dict:
+    """Time the confidence-target mode against its fixed-count twin.
+
+    Both runs use the ``vectorized`` executor on the same sorting scenario
+    grid.  The fixed run spends ``8 × --trials`` trials on every point; its
+    worst per-point Wilson half-width then becomes the adaptive run's
+    target (with ``max_trials`` set to the same count), so the adaptive run
+    reports intervals at least as tight as the fixed one on every point —
+    equal precision, fewer trials.  Determinism of the round loop is
+    checked by re-running the adaptive sweep under the ``batched`` executor
+    and requiring bit-identical values *and* stopping pattern.
+    """
+    iterations = max(int(10000 * args.scale), 500)
+    fixed_trials = max(args.trials * 8, 16)
+    functions = kernels.sorting_kernel(
+        iterations=iterations,
+        series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"},
+    )
+
+    def timed(policy, executor="vectorized"):
+        start = time.perf_counter()
+        series = run_scenario_grid(
+            functions, ADAPTIVE_SCENARIOS, trials=fixed_trials,
+            seed=kernels.WORKLOAD_SEED, engine=ExperimentEngine(executor),
+            policy=policy,
+        )
+        return series, time.perf_counter() - start
+
+    fixed_series, fixed_seconds = timed(None)
+    target = max(
+        wilson_half_width(
+            sum(1 for v in point_values if v >= 0.5), len(point_values)
+        )
+        for series in fixed_series
+        for point_values in series.values
+    )
+    policy = ConfidenceTarget(
+        half_width=target,
+        batch=max(fixed_trials // 4, 2),
+        min_trials=2,
+        max_trials=fixed_trials,
+    )
+    adaptive_series, adaptive_seconds = timed(policy)
+    check_series, _ = timed(policy, executor="batched")
+
+    def snapshot(series_list):
+        return [
+            (s.name, s.fault_rates, s.values, s.trials_used, s.halted_early)
+            for s in series_list
+        ]
+
+    identical = snapshot(adaptive_series) == snapshot(check_series)
+    trials_adaptive = sum(
+        n for series in adaptive_series for n in series.trials_used
+    )
+    trials_fixed = sum(
+        len(point_values) for series in fixed_series for point_values in series.values
+    )
+    return {
+        "kernel": "adaptive",
+        "figure": "run_scenario_grid",
+        "figure_id": "AdaptiveBudget (confidence target vs fixed count)",
+        "params": {
+            "scenarios": list(ADAPTIVE_SCENARIOS),
+            "series": ["Base", "SGD+AS,SQS"],
+            "trials": fixed_trials,
+            "iterations": iterations,
+        },
+        "sweep": True,
+        "batched": True,
+        "commit": commit_hash(),
+        "generated_by": "scripts/bench_all.py",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "wall_seconds": round(adaptive_seconds, 4),
+        "serial_seconds": None,
+        "speedup_vs_serial": None,
+        "fixed_seconds": round(fixed_seconds, 4),
+        "speedup_vs_fixed": round(fixed_seconds / max(adaptive_seconds, 1e-9), 3),
+        "trials_fixed": trials_fixed,
+        "trials_adaptive": trials_adaptive,
+        "target_half_width": round(target, 6),
+        "bit_identical_to_serial": identical,
+    }
+
+
 def main() -> int:
     args = build_parser().parse_args()
     grid_requested = args.only is None or "scenario_grid" in args.only
+    adaptive_requested = args.only is None or "adaptive" in args.only
     if args.only:
-        names = [name for name in args.only if name != "scenario_grid"]
+        names = [
+            name for name in args.only
+            if name not in ("scenario_grid", "adaptive")
+        ]
         try:
             specs = [kernels.get_kernel(name) for name in names]
         except KeyError as error:
@@ -223,6 +326,22 @@ def main() -> int:
         )
         if not record["bit_identical_to_serial"]:
             failures.append("scenario_grid")
+    if adaptive_requested:
+        print("[bench_all] adaptive (confidence-target budget) ...", flush=True)
+        record = bench_adaptive(args)
+        path = args.output_dir / "BENCH_adaptive.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        record_history(record)
+        verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+        print(
+            f"  fixed {record['fixed_seconds']:.2f}s "
+            f"({record['trials_fixed']} trials), adaptive "
+            f"{record['wall_seconds']:.2f}s ({record['trials_adaptive']} trials), "
+            f"speedup x{record['speedup_vs_fixed']:.2f} at half-width "
+            f"{record['target_half_width']:.3f}, determinism {verdict}"
+        )
+        if not record["bit_identical_to_serial"]:
+            failures.append("adaptive")
     for spec in specs:
         print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
         record = bench_kernel(spec, args)

@@ -10,12 +10,20 @@ Run from the repository root:
 
     PYTHONPATH=src python scripts/smoke_scenario_grid.py
         [--iterations N] [--trials N] [--executor NAME ...]
+        [--budget {fixed,adaptive}]
 
 Exit codes: 0 when every executor matches the serial reference bit for bit,
 1 on any mismatch (or an unexpected series layout).  ``--iterations`` /
 ``--trials`` / ``--executor`` shrink or widen the grid — the defaults are
 the CI configuration, the test suite drives a tiny grid through the same
 code path.
+
+``--budget adaptive`` smokes the engine's confidence-target mode instead:
+the same grid runs under a ``ConfidenceTarget`` policy on every executor
+(bit-identity now covers the round loop's stopping pattern, via
+``trials_used`` / ``halted_early``), and a degenerate twin — an unreachable
+half-width capped at ``--trials`` — must reproduce the fixed-count sweep's
+values exactly.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import sys
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.kernels import sorting_kernel
 from repro.experiments.runner import run_scenario_grid
+from repro.experiments.sequential import ConfidenceTarget
 
 SCENARIOS = ("nominal", "low-order-seu")
 FAULT_RATES = (0.05, 0.2)
@@ -44,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME", choices=EXECUTORS,
                         help="executor to compare against serial (repeatable; "
                         "default: process, batched, vectorized)")
+    parser.add_argument("--budget", choices=("fixed", "adaptive"),
+                        default="fixed",
+                        help="'adaptive' smokes the confidence-target round "
+                        "loop instead of the fixed-count grid")
     return parser
 
 
@@ -58,6 +71,12 @@ def main(argv=None) -> int:
     functions = sorting_kernel(
         iterations=args.iterations, series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"}
     )
+    policy = None
+    if args.budget == "adaptive":
+        policy = ConfidenceTarget(
+            half_width=0.2, batch=2, min_trials=2,
+            max_trials=max(args.trials, 2) * 4,
+        )
     results = {}
     for executor in executors:
         series = run_scenario_grid(
@@ -67,8 +86,12 @@ def main(argv=None) -> int:
             trials=args.trials,
             seed=2010,
             engine=ExperimentEngine(executor),
+            policy=policy,
         )
-        results[executor] = [(s.name, s.fault_rates, s.values) for s in series]
+        results[executor] = [
+            (s.name, s.fault_rates, s.values, s.trials_used, s.halted_early)
+            for s in series
+        ]
         print(f"[smoke] {executor:10s} -> {len(series)} series ok", flush=True)
 
     reference = results[executors[0]]
@@ -83,6 +106,36 @@ def main(argv=None) -> int:
     if names != expected:
         print(f"[smoke] unexpected series layout: {names}", file=sys.stderr)
         return 1
+    if policy is not None:
+        # Degenerate twin: an unreachable target capped at --trials must
+        # reproduce the fixed-count sweep exactly (the headline of the
+        # adaptive determinism contract).
+        degenerate = ConfidenceTarget(
+            half_width=1e-9, batch=2, min_trials=1, max_trials=args.trials
+        )
+        twins = {
+            label: run_scenario_grid(
+                functions, SCENARIOS, fault_rates=FAULT_RATES,
+                trials=args.trials, seed=2010,
+                engine=ExperimentEngine(executors[0]), policy=twin_policy,
+            )
+            for label, twin_policy in (("fixed", None), ("degenerate", degenerate))
+        }
+        fixed_view = [
+            (s.name, s.fault_rates, s.values) for s in twins["fixed"]
+        ]
+        degenerate_view = [
+            (s.name, s.fault_rates, s.values) for s in twins["degenerate"]
+        ]
+        if fixed_view != degenerate_view:
+            print("[smoke] DEGENERATE-TWIN FAILURE: unreachable confidence "
+                  "target != fixed-count results", file=sys.stderr)
+            return 1
+        if any(flag for s in twins["degenerate"] for flag in s.halted_early):
+            print("[smoke] DEGENERATE-TWIN FAILURE: unreachable target "
+                  "reported an early stop", file=sys.stderr)
+            return 1
+        print("[smoke] degenerate confidence target == fixed-count grid")
     print(
         "[smoke] scenario grid bit-identical across " + "/".join(executors)
     )

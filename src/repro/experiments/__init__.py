@@ -76,6 +76,14 @@ from repro.experiments.scenarios import (
     scenario_series_name,
     voltage_scenario,
 )
+from repro.experiments.sequential import (
+    BudgetPolicy,
+    ConfidenceTarget,
+    FixedCount,
+    bootstrap_interval,
+    wilson_half_width,
+    wilson_interval,
+)
 from repro.experiments.spec import (
     DEFAULT_FAULT_RATES,
     SweepSpec,
@@ -118,6 +126,12 @@ __all__ = [
     "register_scenario",
     "scenario_series_name",
     "voltage_scenario",
+    "BudgetPolicy",
+    "ConfidenceTarget",
+    "FixedCount",
+    "wilson_interval",
+    "wilson_half_width",
+    "bootstrap_interval",
     "run_fault_rate_sweep",
     "run_scenario_grid",
     "DEFAULT_FAULT_RATES",

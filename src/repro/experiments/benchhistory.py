@@ -179,7 +179,18 @@ def history_record_from_bench(
         "bit_identical": bench.get("bit_identical_to_serial"),
         "machine": dict(machine) if machine is not None else machine_fingerprint(),
     }
-    for extra in ("batched_seconds", "batched_speedup_vs_serial"):
+    for extra in (
+        "batched_seconds",
+        "batched_speedup_vs_serial",
+        # Adaptive-budget records (the "adaptive" pseudo-kernel): the
+        # fixed-count twin's wall time, the confidence-target savings, and
+        # the trial counts behind them — see docs/adaptive.md.
+        "fixed_seconds",
+        "speedup_vs_fixed",
+        "trials_fixed",
+        "trials_adaptive",
+        "target_half_width",
+    ):
         if bench.get(extra) is not None:
             record[extra] = bench[extra]
     validate_record(record)

@@ -10,7 +10,11 @@ change to the spec changes the hash and invalidates the entry, while
 re-running an unchanged spec is a cheap file read.  Executor
 choice is deliberately *not* part of the key: executors are bit-identical by
 contract, so a figure computed by the process pool satisfies a later serial
-request.
+request.  The trial-budget policy *is* part of the key — an adaptive
+(:class:`~repro.experiments.sequential.ConfidenceTarget`) sweep fingerprint
+carries a ``budget`` block, so adaptive and fixed-count runs can never
+collide on a cache entry, while no-policy fingerprints (and their hashes)
+are byte-identical to historical ones.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.executors import Executor, get_executor
 from repro.experiments.results import FigureResult, SeriesResult
+from repro.experiments.sequential import PointStatus
 from repro.experiments.spec import SweepSpec, TrialSpec
 
 __all__ = ["ProgressEvent", "ExperimentEngine"]
@@ -36,7 +37,15 @@ __all__ = ["ProgressEvent", "ExperimentEngine"]
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One progress update: trials completed for a (series, fault-rate) cell."""
+    """One progress update: trials completed for a (series, fault-rate) cell.
+
+    Adaptive (confidence-target) sweeps additionally emit one event per
+    point per round carrying ``ci_half_width`` — the point's current
+    interval half-width after the round — with ``total`` set to the policy's
+    ``max_trials`` cap and ``sweep_total`` to the worst-case trial count, so
+    an adaptive sweep typically *finishes* with ``sweep_completed`` below
+    ``sweep_total``.
+    """
 
     series_name: str
     fault_rate: float
@@ -44,6 +53,7 @@ class ProgressEvent:
     total: int
     sweep_completed: int
     sweep_total: int
+    ci_half_width: Optional[float] = None
 
     @property
     def cell_done(self) -> bool:
@@ -51,11 +61,14 @@ class ProgressEvent:
         return self.completed >= self.total
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"[{self.sweep_completed}/{self.sweep_total}] "
             f"{self.series_name} @ rate {self.fault_rate:g}: "
             f"{self.completed}/{self.total} trials"
         )
+        if self.ci_half_width is not None:
+            text += f" (ci half-width {self.ci_half_width:.4g})"
+        return text
 
 
 #: Progress callback signature.
@@ -114,11 +127,185 @@ class ExperimentEngine:
         ``"<series> @ <scenario>"``, with ``fault_rates`` holding each grid
         point's *effective* rate under that scenario (voltage- or rate-pinned
         scenarios repeat their pinned rate).
+
+        A sweep with an adaptive budget policy
+        (:class:`~repro.experiments.sequential.ConfidenceTarget`) runs the
+        round loop instead of the pre-planned grid: same series layout, but
+        each point's trial list is as long as the policy needed, and
+        ``trials_used`` / ``halted_early`` are populated per point.
         """
+        if sweep.adaptive:
+            return self._run_adaptive(sweep)
         specs = sweep.expand()
         emit = self._make_emitter(sweep, specs) if self.progress is not None else None
         values = self.executor.run(sweep, specs, emit)
         return self._assemble(sweep, specs, values)
+
+    def _run_adaptive(self, sweep: SweepSpec) -> List[SeriesResult]:
+        """Round loop for confidence-target sweeps.
+
+        Each round expands one deterministic block of trial indices for the
+        still-active grid points (via :meth:`SweepSpec.expand_trials`, so the
+        trials carry exactly the coordinate-derived seeds the fixed grid
+        would give them) and runs it through the configured executor
+        *unchanged*.  After the round, every active point recomputes its
+        interval and stops independently once the target half-width is met —
+        or unconditionally at the policy's ``max_trials`` cap.  Because
+        trial values and bootstrap streams depend only on coordinates, the
+        stopping pattern — and therefore the result — is byte-identical
+        across executors, and an unreachable target reproduces the
+        fixed-count ``trials=max_trials`` sweep exactly.
+        """
+        policy = sweep.policy
+        points = sweep.point_keys()
+        collected: Dict[Tuple[int, Optional[int], int], List[float]] = {
+            point: [] for point in points
+        }
+        halted: Dict[Tuple[int, Optional[int], int], bool] = {}
+        widths: Dict[Tuple[int, Optional[int], int], float] = {}
+        active = list(points)
+        sweep_total = len(points) * policy.max_trials
+        done = {"count": 0}
+        round_index = 0
+        while active:
+            start = round_index * policy.batch
+            stop = min(start + policy.batch, policy.max_trials)
+            specs = sweep.expand_trials(start, stop, points=active)
+            emit = None
+            if self.progress is not None:
+                emit = self._make_adaptive_emitter(
+                    sweep, specs, collected, done, sweep_total
+                )
+            values = self.executor.run(sweep, specs, emit)
+            for spec, value in zip(specs, values):
+                point = (spec.series_index, spec.scenario_index, spec.rate_index)
+                collected[point].append(float(value))
+            still_active = []
+            for point in active:
+                trial_values = collected[point]
+                series_index, scenario_index, rate_index = point
+                status = policy.assess(
+                    trial_values,
+                    policy.stream_key(
+                        sweep.seed, series_index, scenario_index,
+                        rate_index, len(trial_values),
+                    ),
+                )
+                widths[point] = status.half_width
+                if status.target_met and status.trials_used < policy.max_trials:
+                    halted[point] = True
+                elif status.trials_used >= policy.max_trials:
+                    halted[point] = False
+                else:
+                    still_active.append(point)
+                if self.progress is not None:
+                    self._emit_round_event(sweep, point, status, done, sweep_total)
+            active = still_active
+            round_index += 1
+        return self._assemble_adaptive(sweep, collected, halted)
+
+    def _make_adaptive_emitter(
+        self,
+        sweep: SweepSpec,
+        specs: Sequence[TrialSpec],
+        collected: Mapping[Tuple[int, Optional[int], int], Sequence[float]],
+        done: Dict[str, int],
+        sweep_total: int,
+    ) -> Callable[[int, float], None]:
+        progress = self.progress
+        max_trials = sweep.policy.max_trials
+        base_counts = {
+            point: len(values) for point, values in collected.items()
+        }
+        round_counts: Dict[Tuple[int, Optional[int], int], int] = {}
+
+        def emit(index: int, value: float) -> None:
+            spec = specs[index]
+            point = (spec.series_index, spec.scenario_index, spec.rate_index)
+            round_counts[point] = round_counts.get(point, 0) + 1
+            done["count"] += 1
+            name = spec.series_name
+            if spec.scenario_name:
+                name = f"{name} @ {spec.scenario_name}"
+            progress(
+                ProgressEvent(
+                    series_name=name,
+                    fault_rate=spec.fault_rate,
+                    completed=base_counts[point] + round_counts[point],
+                    total=max_trials,
+                    sweep_completed=done["count"],
+                    sweep_total=sweep_total,
+                )
+            )
+
+        return emit
+
+    def _emit_round_event(
+        self,
+        sweep: SweepSpec,
+        point: Tuple[int, Optional[int], int],
+        status: "PointStatus",
+        done: Dict[str, int],
+        sweep_total: int,
+    ) -> None:
+        series_index, scenario_index, rate_index = point
+        name = sweep.series_names[series_index]
+        fault_rate = sweep.fault_rates[rate_index]
+        if scenario_index is not None:
+            scenario = sweep.scenarios[scenario_index]
+            name = f"{name} @ {scenario.name}"
+            fault_rate = scenario.effective_fault_rate(fault_rate)
+        self.progress(
+            ProgressEvent(
+                series_name=name,
+                fault_rate=fault_rate,
+                completed=status.trials_used,
+                total=sweep.policy.max_trials,
+                sweep_completed=done["count"],
+                sweep_total=sweep_total,
+                ci_half_width=status.half_width,
+            )
+        )
+
+    @staticmethod
+    def _assemble_adaptive(
+        sweep: SweepSpec,
+        collected: Mapping[Tuple[int, Optional[int], int], List[float]],
+        halted: Mapping[Tuple[int, Optional[int], int], bool],
+    ) -> List[SeriesResult]:
+        def build_series(
+            name: str, fault_rates: List[float], series_index: int,
+            scenario_index: Optional[int],
+        ) -> SeriesResult:
+            points = [
+                (series_index, scenario_index, rate_index)
+                for rate_index in range(len(sweep.fault_rates))
+            ]
+            return SeriesResult(
+                name=name,
+                fault_rates=fault_rates,
+                values=[list(collected[point]) for point in points],
+                trials_used=[len(collected[point]) for point in points],
+                halted_early=[bool(halted[point]) for point in points],
+            )
+
+        if sweep.scenarios is None:
+            return [
+                build_series(name, list(sweep.fault_rates), series_index, None)
+                for series_index, name in enumerate(sweep.series_names)
+            ]
+        from repro.experiments.scenarios import scenario_series_name
+
+        return [
+            build_series(
+                scenario_series_name(name, scenario),
+                sweep.scenario_rates(scenario),
+                series_index,
+                scenario_index,
+            )
+            for series_index, name in enumerate(sweep.series_names)
+            for scenario_index, scenario in enumerate(sweep.scenarios)
+        ]
 
     def _make_emitter(
         self, sweep: SweepSpec, specs: Sequence[TrialSpec]

@@ -860,6 +860,7 @@ class KernelSpec:
         fault_rates=DEFAULT_FAULT_RATES,
         seed: int = WORKLOAD_SEED,
         engine=None,
+        policy=None,
         **factory_kwargs: Any,
     ) -> FigureResult:
         """Run this kernel's workload as an ad-hoc scenario-grid study.
@@ -880,6 +881,11 @@ class KernelSpec:
         attributes a pinned scenario's value to a grid rate it did not run
         at.  Pinned scenarios execute as a separate sub-grid with the same
         base seed (common random numbers with the unpinned partition).
+
+        ``policy`` forwards to both sub-grids: an adaptive
+        :class:`~repro.experiments.sequential.ConfidenceTarget` runs every
+        (series, scenario, rate) point only until its interval meets the
+        target, which is the engine's sequential-sampling mode.
         """
         if not self.sweep or self.trial_factory is None:
             raise ValueError(
@@ -899,7 +905,7 @@ class KernelSpec:
         if unpinned:
             grid = run_scenario_grid(
                 functions, unpinned, fault_rates=fault_rates,
-                trials=trials, seed=seed, engine=engine,
+                trials=trials, seed=seed, engine=engine, policy=policy,
             )
             for label_index, label in enumerate(functions):
                 for scenario_index, scenario in enumerate(unpinned):
@@ -908,7 +914,7 @@ class KernelSpec:
         if pinned:
             grid = run_scenario_grid(
                 functions, pinned, fault_rates=(0.0,),
-                trials=trials, seed=seed, engine=engine,
+                trials=trials, seed=seed, engine=engine, policy=policy,
             )
             for label_index, label in enumerate(functions):
                 for scenario_index, scenario in enumerate(pinned):

@@ -55,6 +55,14 @@ def format_figure(figure: FigureResult, use_success_rate: bool = False) -> str:
             lines.append("-" * len(line))
     if figure.notes:
         lines.append(f"note: {figure.notes}")
+    for series in figure.series:
+        if series.trials_used is None:
+            continue
+        stopped = sum(1 for flag in (series.halted_early or []) if flag)
+        lines.append(
+            f"budget: {series.name}: {sum(series.trials_used)} trials "
+            f"({stopped}/{len(series.trials_used)} points stopped at target)"
+        )
     return "\n".join(lines)
 
 

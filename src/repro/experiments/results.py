@@ -10,7 +10,7 @@ experiment engine can cache completed figures on disk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -21,11 +21,21 @@ __all__ = ["SeriesResult", "FigureResult"]
 
 @dataclass
 class SeriesResult:
-    """One curve of a figure: a named series over the fault-rate grid."""
+    """One curve of a figure: a named series over the fault-rate grid.
+
+    ``trials_used`` / ``halted_early`` are populated only by adaptive
+    (confidence-target) runs: per fault-rate point, how many trials the
+    round loop actually spent and whether the point stopped before its
+    ``max_trials`` cap.  Fixed-count sweeps leave both ``None``, and the
+    serialized form omits them entirely so historical cache entries and
+    figure payloads stay byte-identical.
+    """
 
     name: str
     fault_rates: List[float] = field(default_factory=list)
     values: List[List[float]] = field(default_factory=list)
+    trials_used: Optional[List[int]] = None
+    halted_early: Optional[List[bool]] = None
 
     def summaries(self) -> List[TrialSummary]:
         """Per-fault-rate summaries of the trial values."""
@@ -51,19 +61,30 @@ class SeriesResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form of this series (for the on-disk result cache)."""
-        return {
+        payload: Dict[str, Any] = {
             "name": self.name,
             "fault_rates": [float(r) for r in self.fault_rates],
             "values": [[float(v) for v in trial_values] for trial_values in self.values],
         }
+        if self.trials_used is not None:
+            payload["trials_used"] = [int(n) for n in self.trials_used]
+        if self.halted_early is not None:
+            payload["halted_early"] = [bool(flag) for flag in self.halted_early]
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SeriesResult":
         """Rebuild a series from :meth:`to_dict` output."""
+        trials_used = data.get("trials_used")
+        halted_early = data.get("halted_early")
         return cls(
             name=str(data["name"]),
             fault_rates=[float(r) for r in data["fault_rates"]],
             values=[[float(v) for v in trial_values] for trial_values in data["values"]],
+            trials_used=None if trials_used is None else [int(n) for n in trials_used],
+            halted_early=(
+                None if halted_early is None else [bool(f) for f in halted_early]
+            ),
         )
 
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.results import FigureResult, SeriesResult
 from repro.experiments.scenarios import Scenario
+from repro.experiments.sequential import BudgetPolicy
 from repro.experiments.spec import DEFAULT_FAULT_RATES, SweepSpec, TrialFunction
 
 __all__ = [
@@ -54,6 +55,7 @@ def run_fault_rate_sweep(
     seed: int = 0,
     fault_model: str = "leon3-fpu",
     engine: Optional[Union[str, ExperimentEngine]] = None,
+    policy: Optional[BudgetPolicy] = None,
 ) -> List[SeriesResult]:
     """Run each named trial function over the fault-rate grid.
 
@@ -67,6 +69,14 @@ def run_fault_rate_sweep(
     ``"batched"``) builds a default engine with that executor, and a
     ready-built :class:`~repro.experiments.engine.ExperimentEngine` is used
     as-is.  The choice affects throughput only — results are identical.
+
+    ``policy`` selects the trial budget: ``None`` (or
+    :class:`~repro.experiments.sequential.FixedCount`) runs the classic
+    fixed ``trials`` grid bit-identically, while a
+    :class:`~repro.experiments.sequential.ConfidenceTarget` streams trials
+    in rounds and stops each grid point once its confidence interval
+    reaches the target half-width (``trials`` is then ignored in favour of
+    the policy's ``max_trials`` cap).
     """
     sweep = SweepSpec(
         trial_functions=dict(trial_functions),
@@ -74,6 +84,7 @@ def run_fault_rate_sweep(
         trials=trials,
         seed=seed,
         fault_model=fault_model,
+        policy=policy,
     )
     return _resolve_engine(engine).run_sweep(sweep)
 
@@ -85,6 +96,7 @@ def run_scenario_grid(
     trials: int = 5,
     seed: int = 0,
     engine: Optional[Union[str, ExperimentEngine]] = None,
+    policy: Optional[BudgetPolicy] = None,
 ) -> List[SeriesResult]:
     """Run each trial function across a scenario × fault-rate grid.
 
@@ -100,7 +112,10 @@ def run_scenario_grid(
     Every (series, scenario, rate, trial) cell owns an independent random
     stream derived from ``seed`` and its coordinates, so results are
     bit-identical across all executors; the ``batched`` / ``vectorized``
-    executors run one vectorized sub-batch per scenario.
+    executors run one vectorized sub-batch per scenario.  ``policy`` works
+    exactly as in :func:`run_fault_rate_sweep`: an adaptive
+    :class:`~repro.experiments.sequential.ConfidenceTarget` stops each
+    (series, scenario, rate) point independently at its target half-width.
     """
     sweep = SweepSpec(
         trial_functions=dict(trial_functions),
@@ -108,5 +123,6 @@ def run_scenario_grid(
         trials=trials,
         seed=seed,
         scenarios=tuple(scenarios),
+        policy=policy,
     )
     return _resolve_engine(engine).run_sweep(sweep)

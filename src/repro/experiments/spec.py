@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.experiments.scenarios import Scenario, get_scenario
+from repro.experiments.sequential import BudgetPolicy, FixedCount
 from repro.faults.models import FaultModel
 from repro.processor.stochastic import StochasticProcessor
 
@@ -37,6 +38,11 @@ __all__ = [
     "Scenario",
     "run_trial",
 ]
+
+#: A grid point's identity within a sweep plan: (series_index,
+#: scenario_index, rate_index), with scenario_index ``None`` on single-axis
+#: sweeps.  This is the unit the adaptive round loop stops independently.
+PointKey = Tuple[int, Optional[int], int]
 
 #: Default fault-rate grid ("% of FLOPs" in the paper, here as fractions).
 DEFAULT_FAULT_RATES: tuple = (0.001, 0.01, 0.05, 0.1, 0.2, 0.5)
@@ -134,12 +140,22 @@ class SweepSpec:
     seed: int = 0
     fault_model: Union[str, FaultModel] = "leon3-fpu"
     scenarios: Optional[Sequence[Union[str, Scenario]]] = None
+    policy: Optional[BudgetPolicy] = None
     _specs: List[TrialSpec] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         self.fault_rates = tuple(float(rate) for rate in self.fault_rates)
         if self.trials < 0:
             raise ValueError(f"trials must be non-negative, got {self.trials}")
+        if self.policy is not None:
+            if not isinstance(self.policy, BudgetPolicy):
+                raise TypeError(
+                    f"policy must be a BudgetPolicy, got {type(self.policy).__name__}"
+                )
+            if isinstance(self.policy, FixedCount) and self.policy.trials is not None:
+                # An explicit fixed count is just the classic grid with that
+                # trial count — same expansion, fingerprint, and cache hash.
+                self.trials = int(self.policy.trials)
         if self.scenarios is not None:
             resolved = tuple(get_scenario(scenario) for scenario in self.scenarios)
             if not resolved:
@@ -154,6 +170,23 @@ class SweepSpec:
     def series_names(self) -> List[str]:
         """Series names in declaration order."""
         return list(self.trial_functions.keys())
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this sweep runs under an adaptive (round-based) budget."""
+        return self.policy is not None and self.policy.adaptive
+
+    def point_keys(self) -> List[PointKey]:
+        """Every (series, scenario, rate) grid point, in plan order."""
+        scenario_indices: List[Optional[int]] = (
+            [None] if self.scenarios is None else list(range(len(self.scenarios)))
+        )
+        return [
+            (series_index, scenario_index, rate_index)
+            for series_index in range(len(self.trial_functions))
+            for scenario_index in scenario_indices
+            for rate_index in range(len(self.fault_rates))
+        ]
 
     def __len__(self) -> int:
         n_scenarios = len(self.scenarios) if self.scenarios is not None else 1
@@ -215,6 +248,70 @@ class SweepSpec:
                 ]
         return self._specs
 
+    def expand_trials(
+        self,
+        start: int,
+        stop: int,
+        points: Optional[Sequence[PointKey]] = None,
+    ) -> List[TrialSpec]:
+        """Expand one deterministic block of trials: indices [start, stop).
+
+        This is the adaptive round loop's planner: round *r* expands trial
+        indices ``[r*batch, (r+1)*batch)`` restricted to the still-active
+        grid points.  Specs come out in plan order (series-major, then
+        scenario, then rate, then trial) and carry exactly the seeds the
+        full :meth:`expand` grid would give those coordinates, which is why
+        an adaptive run that never stops early is byte-identical to the
+        fixed-count sweep.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid trial window [{start}, {stop})")
+        selected = None if points is None else set(points)
+
+        def want(key: PointKey) -> bool:
+            return selected is None or key in selected
+
+        trial_range = range(start, stop)
+        if self.scenarios is None:
+            fault_model = self.fault_model
+            return [
+                TrialSpec(
+                    series_name=name,
+                    series_index=series_index,
+                    rate_index=rate_index,
+                    trial_index=trial_index,
+                    fault_rate=fault_rate,
+                    seed=self.seed,
+                    fault_model=fault_model,
+                )
+                for series_index, name in enumerate(self.series_names)
+                for rate_index, fault_rate in enumerate(self.fault_rates)
+                if want((series_index, None, rate_index))
+                for trial_index in trial_range
+            ]
+        resolved_models = [scenario.resolved_model() for scenario in self.scenarios]
+        return [
+            TrialSpec(
+                series_name=name,
+                series_index=series_index,
+                rate_index=rate_index,
+                trial_index=trial_index,
+                fault_rate=scenario.effective_fault_rate(grid_rate),
+                seed=self.seed,
+                fault_model=model,
+                scenario_index=scenario_index,
+                scenario_name=scenario.name,
+                voltage=scenario.voltage,
+            )
+            for series_index, name in enumerate(self.series_names)
+            for scenario_index, (scenario, model) in enumerate(
+                zip(self.scenarios, resolved_models)
+            )
+            for rate_index, grid_rate in enumerate(self.fault_rates)
+            if want((series_index, scenario_index, rate_index))
+            for trial_index in trial_range
+        ]
+
     def fingerprint(self) -> Dict[str, object]:
         """Content description of the sweep grid, for cache keys.
 
@@ -237,6 +334,11 @@ class SweepSpec:
             payload["scenarios"] = [
                 scenario.fingerprint() for scenario in self.scenarios
             ]
+        if self.adaptive:
+            # Only adaptive policies enter the payload: the no-policy and
+            # FixedCount forms keep the historical fingerprint byte for
+            # byte, while adaptive runs hash to distinct cache entries.
+            payload["budget"] = self.policy.fingerprint()
         return payload
 
 

@@ -1,0 +1,56 @@
+"""Shared Hypothesis strategies and workload factories for the test suite.
+
+The sweep-spec, scenario, and fault-model generators used to be duplicated
+ad hoc across ``test_executor_stateful.py``, ``test_scenarios.py``, and
+``test_tensor_backend.py``; they live here as one importable package so
+every property suite draws from the same spec shapes (and so new axes —
+like the trial-budget policies — are generated in exactly one place).
+
+Import from the package root::
+
+    from tests.strategies import sweep_specs, confidence_targets, make_procs
+"""
+
+from tests.strategies.budgets import (
+    adaptive_metrics,
+    budget_policies,
+    confidence_targets,
+    unreachable_targets,
+)
+from tests.strategies.sweeps import (
+    MIXED_RATES,
+    SCENARIO_AXES,
+    SERIES_POOL,
+    fault_rate_grids,
+    make_grid,
+    make_plain_sum_trial,
+    make_procs,
+    noisy_metric,
+    scenario_axes,
+    seeds,
+    series_selections,
+    sorting_sweep,
+    sweep_specs,
+    trial_counts,
+)
+
+__all__ = [
+    "MIXED_RATES",
+    "SCENARIO_AXES",
+    "SERIES_POOL",
+    "adaptive_metrics",
+    "budget_policies",
+    "confidence_targets",
+    "fault_rate_grids",
+    "make_grid",
+    "make_plain_sum_trial",
+    "make_procs",
+    "noisy_metric",
+    "scenario_axes",
+    "seeds",
+    "series_selections",
+    "sorting_sweep",
+    "sweep_specs",
+    "trial_counts",
+    "unreachable_targets",
+]

@@ -9,46 +9,24 @@ bit-identical series.  This is the invariant the perf-trajectory gate's
 ``bit_identical`` field records and the aggressive engine refactors on the
 roadmap must preserve; the state machine hunts for the spec *shapes* (empty
 grids, single trials, scenario/dtype mixes) where a tier could silently
-diverge, rather than checking one hand-picked spec per test.
+diverge, rather than checking one hand-picked spec per test.  The spec axes
+are drawn from the shared ``tests.strategies`` package.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
 
 from repro.experiments.runner import run_fault_rate_sweep, run_scenario_grid
-from repro.experiments.trials import make_noisy_sum_trial
-
-EXECUTORS = ("serial", "batched", "vectorized")
-
-#: Scenario axes worth hunting over: none (classic sweep), a two-model grid,
-#: and a grid mixing datapath dtypes (float32 nominal + float64 preset),
-#: which forces the batched tiers into per-dtype sub-batches.
-SCENARIO_AXES = (
-    None,
-    ("nominal", "low-order-seu"),
-    ("nominal", "double-precision-64"),
+from tests.strategies import (
+    SERIES_POOL,
+    fault_rate_grids,
+    scenario_axes,
+    seeds,
+    trial_counts,
 )
 
-
-def make_plain_sum_trial(n: int):
-    """A serial-only (non-batchable) twin of the noisy-sum microworkload."""
-
-    def trial(proc, stream) -> float:
-        corrupted = proc.corrupt(stream.random(n), ops_per_element=4)
-        return float(np.sum(corrupted))
-
-    return trial
-
-
-#: (label, factory) pool: batchable workloads of two sizes plus a
-#: serial-only one, so batches can mix fast-path and fallback series.
-SERIES_POOL = {
-    "sum8": lambda: make_noisy_sum_trial(n=8, ops_per_element=4),
-    "sum16": lambda: make_noisy_sum_trial(n=16, ops_per_element=4),
-    "plain": lambda: make_plain_sum_trial(n=8),
-}
+EXECUTORS = ("serial", "batched", "vectorized")
 
 
 class ExecutorEquivalenceMachine(RuleBasedStateMachine):
@@ -65,26 +43,19 @@ class ExecutorEquivalenceMachine(RuleBasedStateMachine):
         if len(self.series) < 3 or name in self.series:
             self.series[name] = SERIES_POOL[name]()
 
-    @rule(
-        rates=st.lists(
-            st.sampled_from([0.001, 0.05, 0.2, 0.5]),
-            min_size=1,
-            max_size=3,
-            unique=True,
-        )
-    )
+    @rule(rates=fault_rate_grids())
     def set_rates(self, rates):
-        self.fault_rates = tuple(rates)
+        self.fault_rates = rates
 
-    @rule(trials=st.integers(min_value=1, max_value=3))
+    @rule(trials=trial_counts())
     def set_trials(self, trials):
         self.trials = trials
 
-    @rule(seed=st.integers(min_value=0, max_value=2**16))
+    @rule(seed=seeds())
     def set_seed(self, seed):
         self.seed = seed
 
-    @rule(axis=st.sampled_from(SCENARIO_AXES))
+    @rule(axis=scenario_axes())
     def set_scenarios(self, axis):
         self.scenarios = axis
 

@@ -30,23 +30,7 @@ from repro.experiments.spec import SweepSpec
 from repro.experiments.trials import make_noisy_sum_trial
 from repro.faults.distribution import LowOrderBitDistribution
 from repro.processor.voltage import VoltageErrorModel
-
-
-def noisy_metric(proc, stream):
-    corrupted = proc.corrupt(stream.random(24), ops_per_element=4)
-    return float(np.nansum(corrupted)) + float(stream.random())
-
-
-def make_grid(scenarios, trials=2, **kwargs):
-    defaults = dict(
-        trial_functions={"a": noisy_metric, "b": noisy_metric},
-        fault_rates=(0.05, 0.5),
-        trials=trials,
-        seed=42,
-        scenarios=scenarios,
-    )
-    defaults.update(kwargs)
-    return SweepSpec(**defaults)
+from tests.strategies import make_grid, noisy_metric
 
 
 class TestScenarioResolution:

@@ -95,6 +95,53 @@ class TestSmokeScenarioGrid:
     def test_no_comparison_executor_is_usage_error(self, smoke):
         assert smoke.main(["--executor", "serial"]) == 2
 
+    def test_adaptive_budget_smoke_exits_zero(self, smoke):
+        # Adaptive mode at toy scale: executor agreement on the confidence
+        # target plus the degenerate-twin check against the fixed-count run.
+        code = smoke.main(
+            ["--iterations", "40", "--trials", "1",
+             "--executor", "batched", "--executor", "vectorized",
+             "--budget", "adaptive"]
+        )
+        assert code == 0
+
+
+@pytest.fixture(scope="module")
+def figures():
+    path = REPO_ROOT / "examples" / "reproduce_figures.py"
+    spec = importlib.util.spec_from_file_location("_script_reproduce_figures", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReproduceFiguresBudgetFlags:
+    def test_adaptive_without_grid_is_usage_error(self, figures, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            figures.main(["--budget", "adaptive"])
+        assert excinfo.value.code == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_budget_knobs_without_adaptive_are_usage_errors(self, figures, capsys):
+        for flag, value in (
+            ("--budget-half-width", "0.05"),
+            ("--budget-max-trials", "40"),
+            ("--budget-confidence", "0.95"),
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                figures.main(["--grid", flag, value])
+            assert excinfo.value.code == 2
+            assert "--budget adaptive" in capsys.readouterr().err
+
+    def test_invalid_half_width_is_usage_error(self, figures, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            figures.main(
+                ["--grid", "--budget", "adaptive", "--budget-half-width", "-1"]
+            )
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
 
 def seed_history(tmp_path, kernel="sorting", wall=1.0, **overrides):
     record = {

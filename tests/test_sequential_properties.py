@@ -1,0 +1,176 @@
+"""Property suite for the sequential-sampling interval math.
+
+The adaptive budget's stopping rule is only as sound as its intervals, so
+these properties pin the Wilson score interval analytically — bounds stay in
+[0, 1], widths shrink as evidence doubles, success/failure symmetry, exact
+endpoints at p ∈ {0, 1} — and check empirical coverage on seeded Bernoulli
+streams stays near nominal.  The bootstrap interval (the "mean" metric's
+stopping statistic) is pinned for determinism under an explicitly seeded
+stream, boundedness, and collapse on constant data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.sequential import (
+    ConfidenceTarget,
+    bootstrap_interval,
+    normal_quantile,
+    wilson_half_width,
+    wilson_interval,
+)
+
+CONFIDENCES = st.sampled_from([0.8, 0.9, 0.95, 0.99])
+
+
+@st.composite
+def counts(draw):
+    n = draw(st.integers(min_value=1, max_value=10_000))
+    s = draw(st.integers(min_value=0, max_value=n))
+    return s, n
+
+
+class TestNormalQuantile:
+    def test_matches_known_z_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-4)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    @given(p=st.floats(min_value=0.001, max_value=0.999))
+    def test_antisymmetric(self, p):
+        assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p), abs=1e-7)
+
+    @given(
+        p=st.floats(min_value=0.001, max_value=0.998),
+        step=st.floats(min_value=1e-4, max_value=1e-3),
+    )
+    def test_monotone(self, p, step):
+        assert normal_quantile(p + step) > normal_quantile(p)
+
+
+class TestWilsonInterval:
+    @given(sn=counts(), confidence=CONFIDENCES)
+    def test_bounds_lie_in_unit_interval(self, sn, confidence):
+        s, n = sn
+        low, high = wilson_interval(s, n, confidence)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(sn=counts(), confidence=CONFIDENCES)
+    def test_interval_contains_point_estimate(self, sn, confidence):
+        s, n = sn
+        low, high = wilson_interval(s, n, confidence)
+        assert low <= s / n <= high
+
+    @given(sn=counts(), confidence=CONFIDENCES)
+    def test_width_monotone_as_evidence_doubles(self, sn, confidence):
+        """Doubling (successes, trials) at the same ratio narrows the interval."""
+        s, n = sn
+        assert wilson_half_width(2 * s, 2 * n, confidence) < wilson_half_width(
+            s, n, confidence
+        )
+
+    @given(sn=counts(), confidence=CONFIDENCES)
+    def test_symmetric_under_success_failure_swap(self, sn, confidence):
+        s, n = sn
+        low, high = wilson_interval(s, n, confidence)
+        swapped_low, swapped_high = wilson_interval(n - s, n, confidence)
+        assert low == pytest.approx(1.0 - swapped_high, abs=1e-12)
+        assert high == pytest.approx(1.0 - swapped_low, abs=1e-12)
+
+    @given(n=st.integers(min_value=1, max_value=10_000), confidence=CONFIDENCES)
+    def test_exact_at_boundary_counts(self, n, confidence):
+        """At s == 0 (s == n) the bound touches 0.0 (1.0) exactly — float ==."""
+        assert wilson_interval(0, n, confidence)[0] == 0.0
+        assert wilson_interval(n, n, confidence)[1] == 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(3, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+    @settings(deadline=None)
+    @given(
+        p=st.sampled_from([0.1, 0.3, 0.5, 0.8]),
+        n=st.sampled_from([20, 50, 120]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_empirical_coverage_near_nominal(self, p, n, seed):
+        """95% Wilson intervals cover the true p at ≥ ~90% over seeded streams.
+
+        Wilson coverage oscillates with (p, n) and can dip slightly below
+        nominal, so the floor carries slack; the point is to catch gross
+        interval bugs (coverage collapsing), not to certify exact calibration.
+        """
+        rng = np.random.default_rng([seed, 0xC0FE])
+        rounds = 200
+        covered = 0
+        for _ in range(rounds):
+            s = int(rng.binomial(n, p))
+            low, high = wilson_interval(s, n, confidence=0.95)
+            covered += low <= p <= high
+        assert covered / rounds >= 0.90
+
+
+class TestBootstrapInterval:
+    @given(
+        data=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_deterministic_and_bounded_by_data(self, data, seed):
+        low1, high1 = bootstrap_interval(
+            data, rng=np.random.default_rng([seed, 1])
+        )
+        low2, high2 = bootstrap_interval(
+            data, rng=np.random.default_rng([seed, 1])
+        )
+        assert (low1, high1) == (low2, high2)
+        # Resample means can overshoot the data range by float rounding only.
+        tol = 1e-9 * max(max(abs(v) for v in data), 1.0)
+        assert min(data) - tol <= low1 <= high1 <= max(data) + tol
+
+    def test_constant_data_collapses_to_zero_width(self):
+        low, high = bootstrap_interval([3.5] * 6, rng=np.random.default_rng(0))
+        assert low == high == 3.5
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([1.0, math.nan], rng=np.random.default_rng(0))
+
+
+class TestConfidenceTargetAssessment:
+    def test_point_width_uses_wilson_for_success_metric(self):
+        target = ConfidenceTarget(half_width=0.3, metric="success_rate")
+        values = [1.0, 1.0, 0.0, 1.0]
+        key = ConfidenceTarget.stream_key(7, 0, None, 0, len(values))
+        assert target.point_half_width(values, key) == pytest.approx(
+            wilson_half_width(3, 4, 0.95)
+        )
+
+    def test_mean_metric_is_deterministic_in_stream_key(self):
+        target = ConfidenceTarget(half_width=0.3, metric="mean")
+        values = [0.2, 1.4, 0.9, 1.1]
+        key = ConfidenceTarget.stream_key(7, 1, 2, 0, len(values))
+        assert target.point_half_width(values, key) == target.point_half_width(
+            values, key
+        )
+
+    def test_mean_metric_treats_non_finite_as_unmet(self):
+        target = ConfidenceTarget(half_width=10.0, metric="mean")
+        key = ConfidenceTarget.stream_key(7, 0, None, 0, 3)
+        status = target.assess([1.0, math.inf, 2.0], key)
+        assert status.half_width == math.inf
+        assert not status.target_met

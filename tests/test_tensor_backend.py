@@ -56,7 +56,6 @@ from repro.experiments.kernels import (
     is_batchable,
     maxflow_trial_functions,
     momentum_trial_functions,
-    sorting_trial_functions,
     svm_trial_functions,
 )
 from repro.experiments.spec import SweepSpec
@@ -83,15 +82,7 @@ from repro.workloads.generators import (
     random_weighted_graph,
 )
 from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
-
-MIXED_RATES = [0.0, 0.001, 0.01, 0.1, 0.1, 0.5]
-
-
-def make_procs(rates=MIXED_RATES, seed=7):
-    return [
-        StochasticProcessor(fault_rate=rate, rng=np.random.default_rng([seed, i]))
-        for i, rate in enumerate(rates)
-    ]
+from tests.strategies import MIXED_RATES, make_procs, sorting_sweep
 
 
 class TestCorruptBatchMixedRates:
@@ -421,16 +412,6 @@ class TestApplicationBatchPaths:
             assert v.objective == s.objective
             assert v.flops == s.flops
             assert v.faults_injected == s.faults_injected
-
-
-def sorting_sweep(trials=3, iterations=40, rates=(0.0, 0.01, 0.1)):
-    values = random_array(4, rng=2010, min_gap=0.08)
-    return SweepSpec(
-        sorting_trial_functions(values, iterations, series={"Base": None, "SGD": "SGD,LS"}),
-        fault_rates=rates,
-        trials=trials,
-        seed=2010,
-    )
 
 
 class TestVectorizedExecutor:
