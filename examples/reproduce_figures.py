@@ -14,11 +14,17 @@ cached tables instead of recomputing.
 
 Run:  python examples/reproduce_figures.py [--paper-scale] [--output DIR]
           [--executor {serial,process,batched,vectorized,auto}] [--workers N]
-          [--only NAME [--only NAME ...]] [--trials N]
+          [--only NAME [--only NAME ...]] [--trials N] [--backend NAME]
           [--grid] [--scenario NAME [--scenario NAME ...]]
           [--budget {fixed,adaptive}] [--budget-half-width W]
           [--budget-max-trials N] [--budget-confidence C]
           [--cache-dir DIR | --no-cache] [--refresh] [--progress]
+
+``--backend`` selects the compute backend for every trial (see
+``docs/backends.md``); the default follows the ``REPRO_BACKEND`` / numpy
+precedence.  Bit-identical backends (``cnative``) only change wall time, so
+their figures share the cache with numpy runs; statistical-tier backends
+(``cnative-fused``) enter the cache key and never collide.
 
 ``--budget adaptive`` (scenario-grid studies only) replaces the fixed
 per-point trial count with the engine's confidence-target mode: each
@@ -42,6 +48,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.backends import resolve_backend, use_backend
 from repro.experiments import kernels
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.figures import DEFAULT_CROSS_MODEL_SCENARIOS
@@ -68,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the registered kernels and exit")
     parser.add_argument("--trials", type=int, default=None,
                         help="override the per-point trial count")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="compute backend for every trial (see "
+                        "docs/backends.md; default: REPRO_BACKEND / numpy)")
     parser.add_argument("--grid", action="store_true",
                         help="run the selected sweep kernels as scenario-grid "
                         "studies over the --scenario presets")
@@ -190,6 +200,10 @@ def main(argv=None) -> None:
     if args.trials is not None and args.trials < 0:
         parser.error(f"--trials must be non-negative, got {args.trials}")
     policy = resolve_policy(parser, args)
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as error:
+        parser.error(str(error))
 
     scale = 1.0 if args.paper_scale else 0.25
     trials = args.trials if args.trials is not None else (5 if args.paper_scale else 3)
@@ -239,15 +253,20 @@ def main(argv=None) -> None:
                 # Budget-aware key: adaptive studies must never replay a
                 # fixed-count cache entry (or vice versa).
                 key["budget"] = policy.fingerprint()
-            figure = engine.run_figure(
-                key,
-                lambda: spec.build_scenario_study(
-                    scenarios, trials=grid_trials,
-                    fault_rates=DEFAULT_FAULT_RATES, engine=engine,
-                    policy=policy, **kwargs
-                ),
-                refresh=args.refresh,
-            )
+            if backend.changes_results:
+                # Statistical-tier backends alter trial values, so their
+                # figures must never replay a numpy cache entry.
+                key["backend"] = backend.name
+            with use_backend(backend):
+                figure = engine.run_figure(
+                    key,
+                    lambda: spec.build_scenario_study(
+                        scenarios, trials=grid_trials,
+                        fault_rates=DEFAULT_FAULT_RATES, engine=engine,
+                        policy=policy, **kwargs
+                    ),
+                    refresh=args.refresh,
+                )
             text = format_figure(figure, use_success_rate=spec.use_success_rate)
             print("\n" + text)
             if args.output is not None:
@@ -258,11 +277,14 @@ def main(argv=None) -> None:
     for spec in select_kernels(args.only):
         kwargs = spec.reduced_kwargs(trials, scale)
         key = {"figure": spec.figure, "params": spec.cache_params(kwargs)}
+        if backend.changes_results:
+            key["backend"] = backend.name
         if spec.takes_engine:
             kwargs = dict(kwargs, engine=engine)
-        figure = engine.run_figure(
-            key, lambda: spec.build(**kwargs), refresh=args.refresh
-        )
+        with use_backend(backend):
+            figure = engine.run_figure(
+                key, lambda: spec.build(**kwargs), refresh=args.refresh
+            )
         text = format_figure(figure, use_success_rate=spec.use_success_rate)
         print("\n" + text)
         if args.output is not None:

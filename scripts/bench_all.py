@@ -13,7 +13,7 @@ Run from the repository root:
 
     PYTHONPATH=src python scripts/bench_all.py [--only NAME ...]
         [--output-dir DIR] [--trials N] [--scale FRACTION]
-        [--append-history] [--history-dir DIR]
+        [--backend NAME] [--append-history] [--history-dir DIR]
 
 ``--scale`` shrinks every kernel's own paper iteration budget by the given
 fraction (respecting per-kernel floors); there are no per-family iteration
@@ -23,10 +23,27 @@ the per-kernel perf-trajectory history
 ``repro.experiments.benchhistory`` and ``docs/benchmarks.md``), which is
 what ``scripts/check_bench_regression.py`` gates CI on.
 
+``--backend`` selects the compute backend (see ``docs/backends.md``) for
+every timed run; the default follows the ambient ``REPRO_BACKEND`` /
+``numpy`` precedence.  Every record carries the active ``backend`` name and
+provider ``backend_version``, and one *untimed* warm-up runs per kernel
+before its timed builds so one-time compile/JIT cost never pollutes
+measured wall time — the warm-up's own cost is recorded separately as
+``warmup_seconds``.  Non-default backends write ``BENCH_<kernel>.<backend>
+.json`` (the plain name stays reserved for the numpy reference records) and
+their history records are compatibility-partitioned by backend, so a
+``cnative`` trajectory is never judged against a numpy baseline.
+
 Sweep kernels run twice — once under the ``serial`` reference executor and
 once under ``vectorized`` (the tensorized trial backend) — and the two series
 sets must match bit for bit; the record stores both wall times and their
-ratio.  Non-sweep kernels run once and record wall time only.
+ratio.  Non-sweep kernels run once and record wall time only.  Under a
+non-default ``--backend`` the serial reference is replaced by the
+*vectorized numpy* reference: the record stores ``numpy_seconds``,
+``speedup_vs_numpy``, and ``bit_identical_to_numpy`` (``null`` for
+statistical-tier backends, whose equivalence is tolerance-based), which is
+the acceptance measure for a compiled backend — same executor tier, numpy
+kernels versus compiled kernels.
 
 The pseudo-kernel name ``scenario_grid`` (run by default, or selectable via
 ``--only scenario_grid``) additionally benchmarks the ScenarioGrid path: a
@@ -53,6 +70,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.backends import DEFAULT_BACKEND, list_backends, resolve_backend, use_backend
 from repro.experiments import benchhistory, kernels
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import run_scenario_grid
@@ -91,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=0.2,
                         help="fraction of each kernel's paper iteration budget "
                         "(default: 0.2)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="compute backend for every timed run "
+                        f"(one of {list_backends()}; default: ambient "
+                        "REPRO_BACKEND / numpy precedence)")
     parser.add_argument("--append-history", action="store_true",
                         help="also append each record to the per-kernel "
                         "perf-trajectory history (benchmarks/history/*.jsonl)")
@@ -104,8 +126,55 @@ def series_values(figure) -> list:
     return [series.values for series in figure.series]
 
 
-def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
-    """Time one kernel's reduced-scale build; sweep kernels get both tiers."""
+def bench_path(output_dir: Path, name: str, backend) -> Path:
+    """Record location; non-default backends get their own suffixed file."""
+    suffix = "" if backend.name == DEFAULT_BACKEND else f".{backend.name}"
+    return output_dir / f"BENCH_{name}{suffix}.json"
+
+
+def warm_up(backend, spec: kernels.KernelSpec | None = None) -> float:
+    """One untimed warm-up: compile/JIT cost never enters measured wall time.
+
+    Probing the kernel table triggers any one-time backend compilation (the
+    cnative tier builds its C module on first load); a floor-scale build of
+    the kernel under the timed executor then exercises every kernel-specific
+    JIT specialization a just-in-time tier would otherwise pay for inside
+    the first timed run.  Returns the seconds the warm-up itself took, which
+    the caller records as ``warmup_seconds``.  The reference tier provides
+    no kernels and warms up for free.
+    """
+    start = time.perf_counter()
+    if backend.kernels():  # probing compiles; empty table → nothing to warm
+        backend.warmup()
+        if spec is not None:
+            tiny = spec.reduced_kwargs(1, 0.0)
+            if spec.sweep:
+                spec.build(engine=ExperimentEngine("vectorized"), **tiny)
+            else:
+                spec.build(**tiny)
+    return round(time.perf_counter() - start, 4)
+
+
+def backend_fields(backend, warmup_seconds: float) -> dict:
+    """The record fields identifying the measuring backend."""
+    return {
+        "backend": backend.name,
+        "backend_version": backend.version(),
+        "warmup_seconds": warmup_seconds,
+    }
+
+
+def bench_kernel(spec: kernels.KernelSpec, args, backend) -> dict:
+    """Time one kernel's reduced-scale build; sweep kernels get both tiers.
+
+    Under the default numpy backend, sweep kernels compare the vectorized
+    tier against the serial reference.  Under a compiled backend the serial
+    reference is replaced by the *vectorized numpy* reference — the
+    executor tier is held fixed so the ratio isolates the kernel
+    implementations — and equivalence is judged against that reference
+    (skipped for statistical-tier backends, whose contract is
+    tolerance-based, not bitwise).
+    """
     kwargs = spec.reduced_kwargs(args.trials, args.scale)
     record = {
         "kernel": spec.name,
@@ -118,6 +187,7 @@ def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
         "generated_by": "scripts/bench_all.py",
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
     }
+    record.update(backend_fields(backend, warm_up(backend, spec)))
     if not spec.sweep:
         start = time.perf_counter()
         spec.build(**kwargs)
@@ -125,6 +195,33 @@ def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
         record["serial_seconds"] = None
         record["speedup_vs_serial"] = None
         record["bit_identical_to_serial"] = None
+        return record
+
+    if backend.name != DEFAULT_BACKEND:
+        start = time.perf_counter()
+        with use_backend(DEFAULT_BACKEND):
+            reference_figure = spec.build(
+                engine=ExperimentEngine("vectorized"), **kwargs
+            )
+        numpy_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast_figure = spec.build(engine=ExperimentEngine("vectorized"), **kwargs)
+        fast_seconds = time.perf_counter() - start
+
+        record["wall_seconds"] = round(fast_seconds, 4)
+        record["serial_seconds"] = None
+        record["speedup_vs_serial"] = None
+        record["bit_identical_to_serial"] = None
+        record["numpy_seconds"] = round(numpy_seconds, 4)
+        record["speedup_vs_numpy"] = round(
+            numpy_seconds / max(fast_seconds, 1e-9), 3
+        )
+        record["bit_identical_to_numpy"] = (
+            None
+            if backend.changes_results
+            else series_values(fast_figure) == series_values(reference_figure)
+        )
         return record
 
     start = time.perf_counter()
@@ -143,14 +240,35 @@ def bench_kernel(spec: kernels.KernelSpec, args) -> dict:
     return record
 
 
-def bench_scenario_grid(args) -> dict:
+def warm_up_grid(backend) -> float:
+    """Untimed warm-up of the scenario-grid path under ``backend``.
+
+    A one-scenario, one-trial sorting grid touches the same kernels the
+    timed grid exercises, so a JIT tier's specializations are compiled
+    before the serial reference run (which would otherwise absorb them).
+    """
+    start = time.perf_counter()
+    if backend.kernels():
+        backend.warmup()
+        functions = kernels.sorting_kernel(iterations=500, series={"Base": None})
+        run_scenario_grid(
+            functions, ("nominal",), fault_rates=(0.01,), trials=1,
+            seed=kernels.WORKLOAD_SEED, engine=ExperimentEngine("vectorized"),
+        )
+    return round(time.perf_counter() - start, 4)
+
+
+def bench_scenario_grid(args, backend) -> dict:
     """Time the scenario-grid path: serial vs batched vs vectorized.
 
     Runs a cross-fault-model sorting grid (two series × four scenarios ×
     the default rate grid) under all three tiers; the batched tiers must be
     bit-identical to the serial reference and the record captures their
-    speedups.
+    speedups.  All three tiers run under the selected backend, so the
+    bit-identity contract holds for statistical-tier backends too (every
+    tier sees the same kernels).
     """
+    warmup_seconds = warm_up_grid(backend)
     iterations = max(int(10000 * args.scale), 500)
     functions = kernels.sorting_kernel(
         iterations=iterations,
@@ -184,6 +302,7 @@ def bench_scenario_grid(args) -> dict:
         "commit": commit_hash(),
         "generated_by": "scripts/bench_all.py",
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        **backend_fields(backend, warmup_seconds),
         "wall_seconds": round(vectorized_seconds, 4),
         "serial_seconds": round(serial_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
@@ -200,7 +319,7 @@ def bench_scenario_grid(args) -> dict:
 ADAPTIVE_SCENARIOS = ("nominal", "low-order-seu")
 
 
-def bench_adaptive(args) -> dict:
+def bench_adaptive(args, backend) -> dict:
     """Time the confidence-target mode against its fixed-count twin.
 
     Both runs use the ``vectorized`` executor on the same sorting scenario
@@ -212,6 +331,7 @@ def bench_adaptive(args) -> dict:
     checked by re-running the adaptive sweep under the ``batched`` executor
     and requiring bit-identical values *and* stopping pattern.
     """
+    warmup_seconds = warm_up_grid(backend)
     iterations = max(int(10000 * args.scale), 500)
     fixed_trials = max(args.trials * 8, 16)
     functions = kernels.sorting_kernel(
@@ -273,6 +393,7 @@ def bench_adaptive(args) -> dict:
         "commit": commit_hash(),
         "generated_by": "scripts/bench_all.py",
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        **backend_fields(backend, warmup_seconds),
         "wall_seconds": round(adaptive_seconds, 4),
         "serial_seconds": None,
         "speedup_vs_serial": None,
@@ -287,6 +408,10 @@ def bench_adaptive(args) -> dict:
 
 def main() -> int:
     args = build_parser().parse_args()
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as error:
+        raise SystemExit(str(error))
     grid_requested = args.only is None or "scenario_grid" in args.only
     adaptive_requested = args.only is None or "adaptive" in args.only
     if args.only:
@@ -310,55 +435,81 @@ def main() -> int:
         path = benchhistory.append_record(args.history_dir, history_record)
         print(f"  history -> {path}")
 
+    def mismatched(record: dict) -> bool:
+        return (
+            record.get("bit_identical_to_serial") is False
+            or record.get("bit_identical_to_numpy") is False
+        )
+
     failures = []
-    if grid_requested:
-        print("[bench_all] scenario_grid (ScenarioGrid path) ...", flush=True)
-        record = bench_scenario_grid(args)
-        path = args.output_dir / "BENCH_scenario_grid.json"
-        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        record_history(record)
-        verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
-        print(
-            f"  serial {record['serial_seconds']:.2f}s, batched "
-            f"{record['batched_seconds']:.2f}s (x{record['batched_speedup_vs_serial']:.2f}), "
-            f"vectorized {record['wall_seconds']:.2f}s "
-            f"(x{record['speedup_vs_serial']:.2f}), bit-identity {verdict}"
-        )
-        if not record["bit_identical_to_serial"]:
-            failures.append("scenario_grid")
-    if adaptive_requested:
-        print("[bench_all] adaptive (confidence-target budget) ...", flush=True)
-        record = bench_adaptive(args)
-        path = args.output_dir / "BENCH_adaptive.json"
-        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        record_history(record)
-        verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
-        print(
-            f"  fixed {record['fixed_seconds']:.2f}s "
-            f"({record['trials_fixed']} trials), adaptive "
-            f"{record['wall_seconds']:.2f}s ({record['trials_adaptive']} trials), "
-            f"speedup x{record['speedup_vs_fixed']:.2f} at half-width "
-            f"{record['target_half_width']:.3f}, determinism {verdict}"
-        )
-        if not record["bit_identical_to_serial"]:
-            failures.append("adaptive")
-    for spec in specs:
-        print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
-        record = bench_kernel(spec, args)
-        path = args.output_dir / f"BENCH_{spec.name}.json"
-        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        record_history(record)
-        if record["sweep"]:
+    print(
+        f"[bench_all] backend {backend.name} "
+        f"(version {backend.version() or 'n/a'})",
+        flush=True,
+    )
+    with use_backend(backend):
+        if grid_requested:
+            print("[bench_all] scenario_grid (ScenarioGrid path) ...", flush=True)
+            record = bench_scenario_grid(args, backend)
+            path = bench_path(args.output_dir, "scenario_grid", backend)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            record_history(record)
             verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
             print(
-                f"  serial {record['serial_seconds']:.2f}s, vectorized "
-                f"{record['wall_seconds']:.2f}s, speedup "
-                f"x{record['speedup_vs_serial']:.2f}, bit-identity {verdict}"
+                f"  serial {record['serial_seconds']:.2f}s, batched "
+                f"{record['batched_seconds']:.2f}s (x{record['batched_speedup_vs_serial']:.2f}), "
+                f"vectorized {record['wall_seconds']:.2f}s "
+                f"(x{record['speedup_vs_serial']:.2f}), bit-identity {verdict}"
             )
-            if not record["bit_identical_to_serial"]:
-                failures.append(spec.name)
-        else:
-            print(f"  wall {record['wall_seconds']:.2f}s")
+            if mismatched(record):
+                failures.append("scenario_grid")
+        if adaptive_requested:
+            print("[bench_all] adaptive (confidence-target budget) ...", flush=True)
+            record = bench_adaptive(args, backend)
+            path = bench_path(args.output_dir, "adaptive", backend)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            record_history(record)
+            verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+            print(
+                f"  fixed {record['fixed_seconds']:.2f}s "
+                f"({record['trials_fixed']} trials), adaptive "
+                f"{record['wall_seconds']:.2f}s ({record['trials_adaptive']} trials), "
+                f"speedup x{record['speedup_vs_fixed']:.2f} at half-width "
+                f"{record['target_half_width']:.3f}, determinism {verdict}"
+            )
+            if mismatched(record):
+                failures.append("adaptive")
+        for spec in specs:
+            print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
+            record = bench_kernel(spec, args, backend)
+            path = bench_path(args.output_dir, spec.name, backend)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            record_history(record)
+            if not record["sweep"]:
+                print(f"  wall {record['wall_seconds']:.2f}s")
+            elif record.get("numpy_seconds") is not None:
+                identity = record["bit_identical_to_numpy"]
+                verdict = (
+                    "ok" if identity
+                    else "n/a (statistical tier)" if identity is None
+                    else "MISMATCH"
+                )
+                print(
+                    f"  numpy-vectorized {record['numpy_seconds']:.2f}s, "
+                    f"{backend.name} {record['wall_seconds']:.2f}s, speedup "
+                    f"x{record['speedup_vs_numpy']:.2f}, bit-identity {verdict}"
+                )
+                if mismatched(record):
+                    failures.append(spec.name)
+            else:
+                verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+                print(
+                    f"  serial {record['serial_seconds']:.2f}s, vectorized "
+                    f"{record['wall_seconds']:.2f}s, speedup "
+                    f"x{record['speedup_vs_serial']:.2f}, bit-identity {verdict}"
+                )
+                if mismatched(record):
+                    failures.append(spec.name)
     if failures:
         print(f"[bench_all] BIT-IDENTITY FAILURES: {failures}", file=sys.stderr)
         return 1

@@ -16,15 +16,40 @@ from __future__ import annotations
 import numpy as np
 
 from repro.applications.iir import IIRFilter
+from repro.backends import active_backend
+from repro.faults.distribution import BitPositionDistribution
 from repro.processor.stochastic import StochasticProcessor
 
 __all__ = ["noisy_direct_form_filter"]
+
+
+def _backend_kernel(proc: StochasticProcessor):
+    """The compiled whole-recursion kernel, when the backend provides one.
+
+    The kernel inlines the scalar FPU commit protocol, so it only applies to
+    the plain configuration: generator-timed faults, the stock inverse-CDF
+    bit sampler, and no ambient ``fpu.protected()`` region.
+    """
+    impl = active_backend().kernel("direct_form_filter")
+    if impl is None:
+        return None
+    injector = proc.injector
+    if (
+        injector.uses_lfsr
+        or proc.fpu._protected_depth > 0
+        or type(injector.bit_distribution).sample is not BitPositionDistribution.sample
+    ):
+        return None
+    return impl.func
 
 
 def noisy_direct_form_filter(
     filt: IIRFilter, u: np.ndarray, proc: StochasticProcessor
 ) -> np.ndarray:
     """Run the direct-form recursion with every FLOP on the noisy FPU."""
+    kernel = _backend_kernel(proc)
+    if kernel is not None:
+        return kernel(filt, u, proc)
     fpu = proc.fpu
     u_arr = np.asarray(u, dtype=np.float64).ravel()
     a, b = filt.feedforward, filt.feedback

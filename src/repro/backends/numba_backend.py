@@ -1,0 +1,142 @@
+"""The ``numba`` backend: JIT-compiled fault kernels (optional dependency).
+
+Registered unconditionally, loadable only where numba is installed — in a
+numpy-only environment :meth:`ComputeBackend.available` is false and every
+selection falls back to the numpy tier (see ``resolve_backend``), while the
+test-suite ``requires_numba`` marks skip the numba parameter outright.
+
+The JIT kernels draw uniforms through ``numpy.random.Generator.random()``
+inside nopython mode, which numba implements on the generator's own
+bit-generator state and therefore consumes the exact stream the numpy tier
+consumes; bit flips are XORs on the caller-provided unsigned view, and the
+inverse-CDF lookup replicates ``numpy.searchsorted(side="right")``.  The
+backend provides the array kernels (``corrupt_array``/``batch_corrupt``);
+the scalar IIR recursion stays on the numpy/cnative tiers (see the support
+matrix in ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.backends.registry import (
+    BIT_IDENTICAL,
+    BackendUnavailable,
+    ComputeBackend,
+    KernelImpl,
+    register_backend,
+)
+
+__all__ = ["NUMBA"]
+
+_CORE = None  # (corrupt_u32, corrupt_u64) njit functions, compiled once
+
+
+def _ensure_core():
+    """Import numba and compile the JIT cores (cached per process)."""
+    global _CORE
+    if _CORE is not None:
+        return _CORE
+    try:
+        import numba
+    except ImportError:
+        raise BackendUnavailable("numba is not installed") from None
+
+    def _make(uint_one):
+        def corrupt(gen, bits, threshold, cdf):
+            n = bits.size
+            idx = np.empty(n, np.int64)
+            n_faults = 0
+            for i in range(n):
+                if gen.random() < threshold:
+                    idx[n_faults] = i
+                    n_faults += 1
+            for k in range(n_faults):
+                u = gen.random()
+                lo, hi = 0, cdf.size
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if cdf[mid] <= u:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                bits[idx[k]] ^= uint_one << lo
+            return n_faults
+
+        return numba.njit(corrupt)
+
+    _CORE = (_make(np.uint32(1)), _make(np.uint64(1)))
+    return _CORE
+
+
+def _corrupt_bits(rng, out: np.ndarray, threshold: float, cdf: np.ndarray) -> int:
+    corrupt_u32, corrupt_u64 = _ensure_core()
+    if out.dtype == np.float32:
+        return int(corrupt_u32(rng, out.reshape(-1).view(np.uint32), threshold, cdf))
+    return int(corrupt_u64(rng, out.reshape(-1).view(np.uint64), threshold, cdf))
+
+
+def corrupt_array(injector, out: np.ndarray, ops: int) -> int:
+    """JIT path of :meth:`FaultInjector.corrupt_array` (same contract as the
+    cnative kernel of the same name)."""
+    from repro.faults.vectorized import effective_fault_probability
+
+    threshold = float(effective_fault_probability(injector.fault_rate, ops))
+    cdf = np.ascontiguousarray(injector.bit_distribution.cdf(), dtype=np.float64)
+    return _corrupt_bits(injector.rng, out, threshold, cdf)
+
+
+def batch_corrupt(batch, native: np.ndarray, row_size: int, ops: int) -> np.ndarray:
+    """JIT path of :meth:`ProcessorBatch.corrupt`'s fast branch.
+
+    Trials run to completion one at a time (valid because each trial owns a
+    distinct generator — guarded where the kernel is bound); a rate-zero
+    trial draws nothing.
+    """
+    thresholds = batch._thresholds_for(ops, 1)
+    cdf = np.ascontiguousarray(batch._shared_cdf, dtype=np.float64)
+    faults = np.zeros(len(batch.procs), dtype=np.int64)
+    flat = native.reshape(len(batch.procs), row_size)
+    for trial, rate in enumerate(batch._rates):
+        if rate <= 0.0:
+            continue
+        faults[trial] = _corrupt_bits(
+            batch._rngs[trial], flat[trial], float(thresholds[trial]), cdf
+        )
+    return faults
+
+
+def _warmup() -> float:
+    """Compile the JIT cores against throwaway data; returns the seconds."""
+    started = time.perf_counter()
+    corrupt_u32, corrupt_u64 = _ensure_core()
+    cdf = np.array([0.5, 1.0])
+    corrupt_u32(np.random.default_rng(0), np.zeros(4, np.uint32), 0.5, cdf)
+    corrupt_u64(np.random.default_rng(0), np.zeros(4, np.uint64), 0.5, cdf)
+    return time.perf_counter() - started
+
+
+def _version() -> Optional[str]:
+    try:
+        import numba
+
+        return numba.__version__
+    except ImportError:  # pragma: no cover - guarded by available()
+        return None
+
+
+def _load() -> Dict[str, KernelImpl]:
+    _ensure_core()
+    return {
+        "corrupt_array": KernelImpl("corrupt_array", corrupt_array, BIT_IDENTICAL),
+        "batch_corrupt": KernelImpl("batch_corrupt", batch_corrupt, BIT_IDENTICAL),
+    }
+
+
+#: The optional JIT tier; unavailable (and auto-skipped) without numba.
+NUMBA = register_backend(
+    ComputeBackend("numba", load=_load, version=_version, warmup=_warmup)
+)

@@ -14,13 +14,16 @@ to ``False``, and on histories whose kernel vanished from the registry
 without a tombstone.
 
 Two records are *compatible* (and therefore comparable) only when they agree
-on both the benchmark parameters (trials, iteration budget, scenario list —
-a reduced-scale run must never be judged against a full-scale baseline) and
-the machine fingerprint (wall-clock seconds from different hardware are not
+on the benchmark parameters (trials, iteration budget, scenario list — a
+reduced-scale run must never be judged against a full-scale baseline), the
+machine fingerprint (wall-clock seconds from different hardware are not
 comparable; speedup ratios nearly are, but machine-matching both keeps the
-gate honest about noisy shared runners).  Records that have no compatible
-baseline simply extend the history without being judged — the gate reports
-them as unjudged rather than guessing.
+gate honest about noisy shared runners), **and** the compute backend
+(records missing the field count as ``"numpy"``, so pre-backend histories
+stay comparable; a ``cnative`` or ``numba`` run is never judged against a
+numpy baseline even though both append to the same kernel's history file).
+Records that have no compatible baseline simply extend the history without
+being judged — the gate reports them as unjudged rather than guessing.
 
 Intentional perf changes are accepted by pinning a new baseline:
 ``check_bench_regression.py --write-baseline`` stores the latest record of
@@ -59,6 +62,7 @@ __all__ = [
     "history_kernels",
     "params_key",
     "machine_key",
+    "backend_key",
     "compatible",
     "robust_baseline",
     "RegressionPolicy",
@@ -182,6 +186,18 @@ def history_record_from_bench(
     for extra in (
         "batched_seconds",
         "batched_speedup_vs_serial",
+        # Backend-aware records (scripts/bench_all.py --backend): which
+        # compute backend ran the timed figure, its provider version, the
+        # one-time compile/JIT cost excluded from wall_seconds, and — for
+        # non-numpy backends — the vectorized-numpy reference timing and
+        # equivalence verdict.  ``backend`` is part of the compatibility
+        # key (see :func:`compatible`).
+        "backend",
+        "backend_version",
+        "warmup_seconds",
+        "numpy_seconds",
+        "speedup_vs_numpy",
+        "bit_identical_to_numpy",
         # Adaptive-budget records (the "adaptive" pseudo-kernel): the
         # fixed-count twin's wall time, the confidence-target savings, and
         # the trial counts behind them — see docs/adaptive.md.
@@ -266,6 +282,15 @@ def machine_key(record: Mapping[str, Any]) -> str:
     return _canonical(record["machine"])
 
 
+def backend_key(record: Mapping[str, Any]) -> str:
+    """The compute backend a record was measured under.
+
+    Records predating the backend layer carry no field and count as the
+    ``"numpy"`` reference tier, so existing histories keep their baselines.
+    """
+    return record.get("backend") or "numpy"
+
+
 def compatible(
     record: Mapping[str, Any],
     reference: Mapping[str, Any],
@@ -274,10 +299,14 @@ def compatible(
     """Whether two records may be compared by the regression gate.
 
     Records from different parameter sets (scales, trial counts, scenario
-    lists) are never comparable; machine matching is on by default and can
-    be relaxed for speedup-only analyses (ratios largely cancel the host).
+    lists) or different compute backends (a JIT tier's wall time says
+    nothing about a numpy regression, and vice versa) are never comparable;
+    machine matching is on by default and can be relaxed for speedup-only
+    analyses (ratios largely cancel the host).
     """
     if params_key(record) != params_key(reference):
+        return False
+    if backend_key(record) != backend_key(reference):
         return False
     if match_machine and machine_key(record) != machine_key(reference):
         return False
@@ -365,6 +394,7 @@ def check_kernel(
             "wall_seconds": latest["wall_seconds"],
             "speedup_vs_serial": latest.get("speedup_vs_serial"),
             "bit_identical": latest.get("bit_identical"),
+            "backend": backend_key(latest),
             "commit": latest.get("commit"),
             "timestamp": latest.get("timestamp"),
         },

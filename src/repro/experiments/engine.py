@@ -92,6 +92,11 @@ class ExperimentEngine:
         Callback receiving a :class:`ProgressEvent` after every completed
         trial.  Events arrive in completion order, which under the process
         executor is not plan order.
+    backend:
+        Compute-backend name (see :mod:`repro.backends`) applied to every
+        sweep this engine runs that does not already carry its own choice.
+        ``None`` (the default) leaves sweeps on the ambient selection
+        (``REPRO_BACKEND`` env var / ``use_backend`` context / numpy).
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class ExperimentEngine:
         chunksize: Optional[int] = None,
         cache_dir: Union[str, Path, None] = None,
         progress: Optional[ProgressCallback] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if isinstance(executor, Executor):
             self.executor = executor
@@ -111,6 +117,19 @@ class ExperimentEngine:
             self.executor = get_executor(executor, **options)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        if backend is not None:
+            # Unknown names fail here, not mid-sweep.
+            from repro.backends import get_backend
+
+            get_backend(backend)
+        self.backend = backend
+
+    def _apply_backend(self, sweep: SweepSpec) -> SweepSpec:
+        """Stamp the engine's backend onto a sweep that has no choice of its own."""
+        if self.backend is not None and sweep.backend is None:
+            sweep.backend = self.backend
+            sweep._specs = None  # invalidate any pre-backend expansion
+        return sweep
 
     # ------------------------------------------------------------------ #
     # Sweep execution
@@ -134,6 +153,7 @@ class ExperimentEngine:
         each point's trial list is as long as the policy needed, and
         ``trials_used`` / ``halted_early`` are populated per point.
         """
+        sweep = self._apply_backend(sweep)
         if sweep.adaptive:
             return self._run_adaptive(sweep)
         specs = sweep.expand()

@@ -47,7 +47,7 @@ from repro.experiments.kernels import (
     batchable,
     batchable_series,
 )
-from repro.experiments.spec import SweepSpec, TrialSpec, run_trial
+from repro.experiments.spec import SweepSpec, TrialSpec, backend_scope, run_trial
 
 __all__ = [
     "EmitFunction",
@@ -231,12 +231,16 @@ class BatchedExecutor(Executor):
                     if emit is not None:
                         emit(index, values[index])
                 continue
-            streams = [spec.make_stream() for _, spec in cell]
-            procs = [
-                spec.make_processor(stream)
-                for (_, spec), stream in zip(cell, streams)
-            ]
-            batch_values = [float(v) for v in run_batch(procs, streams)]
+            # The sweep's backend choice must be ambient while the batch's
+            # substrate objects (processors, ProcessorBatch) are constructed
+            # and while the batch kernel runs.
+            with backend_scope(cell[0][1].backend):
+                streams = [spec.make_stream() for _, spec in cell]
+                procs = [
+                    spec.make_processor(stream)
+                    for (_, spec), stream in zip(cell, streams)
+                ]
+                batch_values = [float(v) for v in run_batch(procs, streams)]
             if len(batch_values) != len(cell):
                 raise ValueError(
                     f"run_batch returned {len(batch_values)} values "

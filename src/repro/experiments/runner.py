@@ -56,6 +56,7 @@ def run_fault_rate_sweep(
     fault_model: str = "leon3-fpu",
     engine: Optional[Union[str, ExperimentEngine]] = None,
     policy: Optional[BudgetPolicy] = None,
+    backend: Optional[str] = None,
 ) -> List[SeriesResult]:
     """Run each named trial function over the fault-rate grid.
 
@@ -77,6 +78,14 @@ def run_fault_rate_sweep(
     in rounds and stops each grid point once its confidence interval
     reaches the target half-width (``trials`` is then ignored in favour of
     the policy's ``max_trials`` cap).
+
+    ``backend`` selects the compute backend (see :mod:`repro.backends`) for
+    every trial's substrate objects; ``None`` keeps the ambient selection
+    (``REPRO_BACKEND`` env var / ``use_backend`` context / numpy).  Because
+    the built-in compiled backends are bit-identical, this too affects
+    throughput only — unless a statistical-tier backend (e.g.
+    ``cnative-fused``) is chosen, in which case the sweep fingerprint
+    records it.
     """
     sweep = SweepSpec(
         trial_functions=dict(trial_functions),
@@ -85,6 +94,7 @@ def run_fault_rate_sweep(
         seed=seed,
         fault_model=fault_model,
         policy=policy,
+        backend=backend,
     )
     return _resolve_engine(engine).run_sweep(sweep)
 
@@ -97,6 +107,7 @@ def run_scenario_grid(
     seed: int = 0,
     engine: Optional[Union[str, ExperimentEngine]] = None,
     policy: Optional[BudgetPolicy] = None,
+    backend: Optional[str] = None,
 ) -> List[SeriesResult]:
     """Run each trial function across a scenario × fault-rate grid.
 
@@ -116,6 +127,8 @@ def run_scenario_grid(
     exactly as in :func:`run_fault_rate_sweep`: an adaptive
     :class:`~repro.experiments.sequential.ConfidenceTarget` stops each
     (series, scenario, rate) point independently at its target half-width.
+    ``backend`` selects the compute backend for every trial, exactly as in
+    :func:`run_fault_rate_sweep`.
     """
     sweep = SweepSpec(
         trial_functions=dict(trial_functions),
@@ -124,5 +137,6 @@ def run_scenario_grid(
         seed=seed,
         scenarios=tuple(scenarios),
         policy=policy,
+        backend=backend,
     )
     return _resolve_engine(engine).run_sweep(sweep)

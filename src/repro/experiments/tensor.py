@@ -51,8 +51,16 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import (
+    active_backend,
+    available_backends,
+    get_backend,
+    list_backends,
+    resolve_backend,
+    use_backend,
+)
 from repro.experiments.kernels import batch_implementation
-from repro.experiments.spec import SweepSpec, TrialSpec
+from repro.experiments.spec import SweepSpec, TrialSpec, backend_scope
 from repro.processor.batch import ProcessorBatch
 from repro.processor.stochastic import StochasticProcessor
 
@@ -60,6 +68,15 @@ __all__ = [
     "ProcessorBatch",
     "make_trial_batch",
     "run_tensor_cell",
+    # Re-exported compute-backend registry API (the backend layer lives
+    # under repro.backends; the tensorized trial backend is its primary
+    # consumer, so the registry surface is importable from here too).
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "list_backends",
+    "resolve_backend",
+    "use_backend",
 ]
 
 
@@ -104,8 +121,13 @@ def run_tensor_cell(sweep: SweepSpec, specs: Sequence[TrialSpec]) -> List[float]
             f"series {specs[0].series_name!r} has no batch implementation; "
             "use the per-trial path"
         )
-    streams, procs = make_trial_batch(specs)
-    values = [float(value) for value in run_batch(procs, streams)]
+    # The sweep's backend choice must be ambient both while the substrate
+    # objects are constructed (processors bind their corrupt kernels then)
+    # and while the batch kernel runs (ProcessorBatch construction happens
+    # inside run_batch).
+    with backend_scope(specs[0].backend):
+        streams, procs = make_trial_batch(specs)
+        values = [float(value) for value in run_batch(procs, streams)]
     if len(values) != len(specs):
         raise ValueError(
             f"run_batch returned {len(values)} values for a batch of "

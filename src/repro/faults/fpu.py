@@ -41,6 +41,15 @@ class StochasticFPU:
         self._injector = injector if injector is not None else FaultInjector(0.0)
         self._flops = 0
         self._protected_depth = 0
+        # Scalar-commit fast path: bind the backend's compiled kernel when
+        # the injector's substrate preconditions hold (its own corrupt_array
+        # binding encodes them: stock bit distribution, non-LFSR generator).
+        kernel = self._injector.backend.kernel("commit_scalar")
+        self._commit_kernel = (
+            kernel.func
+            if kernel is not None and self._injector._array_kernel is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -82,6 +91,8 @@ class StochasticFPU:
     def _commit(self, value: float) -> float:
         """Count one FLOP and pass its result through the injector."""
         self._flops += 1
+        if self._commit_kernel is not None:
+            return self._commit_kernel(self, value)
         if self._protected_depth > 0 or self._injector.fault_rate <= 0.0:
             return float(np.asarray(value, dtype=self._injector.dtype))
         return self._injector.corrupt_scalar(value)

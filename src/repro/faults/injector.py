@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backends import ComputeBackend, active_backend
 from repro.exceptions import FaultModelError
 from repro.faults.bitflip import bit_width, flip_bit_scalar
 from repro.faults.distribution import BitPositionDistribution, EmulatedBitDistribution
@@ -93,6 +94,20 @@ class FaultInjector:
         self._faults_injected = 0
         self._ops_observed = 0
         self.fault_rate = fault_rate
+        # Compute backend, resolved once at construction (the executors wrap
+        # trial execution in use_backend, so processors built for a sweep see
+        # the sweep's choice).  The accelerated corrupt_array kernel requires
+        # generator-timed faults and the stock inverse-CDF bit sampler; any
+        # other configuration stays on the numpy tier.
+        self._backend = active_backend()
+        kernel = self._backend.kernel("corrupt_array")
+        self._array_kernel = (
+            kernel.func
+            if kernel is not None
+            and not self._use_lfsr
+            and type(self._bit_distribution).sample is BitPositionDistribution.sample
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -111,6 +126,16 @@ class FaultInjector:
     def rng(self) -> np.random.Generator:
         """The injector's random generator (used by batched fault kernels)."""
         return self._rng
+
+    @property
+    def uses_lfsr(self) -> bool:
+        """Whether faults are timed by the hardware-style LFSR."""
+        return self._use_lfsr
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend this injector resolved at construction."""
+        return self._backend
 
     @property
     def fault_rate(self) -> float:
@@ -208,6 +233,15 @@ class FaultInjector:
             self._ops_observed += int(np.sum(ops))
         if self._fault_rate <= 0.0 or n_elements == 0:
             return arr.copy()
+        if self._array_kernel is not None and ops.ndim == 0:
+            # Backend fast path: same draw protocol as the numpy kernel below
+            # (bit-identical tier), run as one compiled call on the native
+            # copy.  ndarray.copy() is C-ordered, matching the kernel's flat
+            # iteration.
+            out = arr.copy()
+            n_faults = self._array_kernel(self, out, int(ops))
+            self._faults_injected += int(n_faults)
+            return out
         corrupted, n_faults = corrupt_array(
             arr,
             fault_rate=self._fault_rate,

@@ -18,6 +18,11 @@ Note on the paper's eq. (4.4)/(4.5): the non-negativity constraint
 *feasible* entries; the mathematically correct term (and the one whose
 gradient actually drives iterates toward the sorted permutation) is
 ``[-X_ij]_+``, and that is what this module and the application recipes use.
+
+The batched gradient (:meth:`ExactPenaltyProblem.gradient_batch`) runs its
+noisy passes through :func:`~repro.processor.batch.batch_matvec` /
+:meth:`~repro.processor.batch.ProcessorBatch.corrupt`, so it inherits the
+batch's compute backend (:mod:`repro.backends`) transparently.
 """
 
 from __future__ import annotations

@@ -21,6 +21,11 @@ problem-supplied magnitude (``gradient_clip``).  These are cheap scalar
 checks that belong to the protected control phase; they are this library's
 concrete realization of the paper's "control phases of execution are assumed
 to be error-free" assumption, and tests cover each behaviour.
+
+The batched stepper's noisy work all flows through
+:meth:`~repro.processor.batch.ProcessorBatch.corrupt`, so it picks up
+whichever compute backend (:mod:`repro.backends`) the batch resolved at
+construction — no backend-specific code lives here.
 """
 
 from __future__ import annotations

@@ -93,6 +93,24 @@ class ProcessorBatch:
             self._shared_cdf = first.cdf()
         else:
             self._shared_cdf = None
+        # Compute-backend fast path for the fused corruption pass.  The
+        # compiled kernels run each trial's draws to completion before the
+        # next trial's, which consumes the per-generator streams identically
+        # to the all-uniforms-then-all-bits schedule below *only* when every
+        # trial owns its own generator — executors guarantee that, but a
+        # hand-built batch sharing one generator must stay on the numpy tier.
+        from repro.backends import active_backend
+
+        self._backend = active_backend()
+        kernel = self._backend.kernel("batch_corrupt")
+        self._batch_kernel = (
+            kernel.func
+            if kernel is not None
+            and self._shared_cdf is not None
+            and len({id(rng) for rng in self._rngs}) == len(self._rngs)
+            and not any(proc.injector.uses_lfsr for proc in procs)
+            else None
+        )
 
     def __len__(self) -> int:
         return len(self.procs)
@@ -109,6 +127,11 @@ class ProcessorBatch:
     def fault_rates(self) -> np.ndarray:
         """Per-trial fault rates (fixed at batch construction), ``(n_trials,)``."""
         return self._rates.copy()
+
+    @property
+    def backend(self):
+        """The compute backend this batch resolved at construction."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Batched noisy corruption (mirrors StochasticProcessor.corrupt row-wise)
@@ -136,6 +159,19 @@ class ProcessorBatch:
             return self._corrupt_general(arr, ops)
         row_size = int(np.prod(row_shape, dtype=np.int64))
         per_trial_ops = int(ops) * row_size
+
+        if self._batch_kernel is not None:
+            # Backend fast path: the whole mask/bit-flip pass in one compiled
+            # call over the native-dtype copy (bit-identical tier; see the
+            # kernel-binding note in __init__).
+            native = self._native_scratch(arr.shape)
+            with np.errstate(over="ignore", invalid="ignore"):
+                np.copyto(native, arr, casting="unsafe")
+            faults_per_trial = self._batch_kernel(self, native, row_size, int(ops))
+            self._pending_ops += per_trial_ops
+            self._pending_faults += faults_per_trial
+            with np.errstate(over="ignore", invalid="ignore"):
+                return native.astype(np.float64)
 
         # NOTE: this fast path re-implements the serial draw protocol of
         # corrupt_array / batch_fault_masks (uniform mask first, then exactly
@@ -244,6 +280,14 @@ class ProcessorBatch:
             )
             self._scratch[shape] = buffers
         return buffers
+
+    def _native_scratch(self, shape) -> np.ndarray:
+        """Reusable native-dtype buffer for the backend corruption kernels."""
+        buffer = self._scratch.get(("native", shape))
+        if buffer is None:
+            buffer = np.empty(shape, dtype=self.dtype)
+            self._scratch[("native", shape)] = buffer
+        return buffer
 
     def f64_scratch(self, shape) -> np.ndarray:
         """A reusable float64 buffer for transient pre-corruption tensors.

@@ -68,6 +68,16 @@ class StochasticProcessor:
         self._energy_model = energy_model if energy_model is not None else EnergyModel()
         self._injector = fault_model.make_injector(fault_rate=fault_rate, rng=rng)
         self._fpu = StochasticFPU(self._injector)
+        # Fused corrupt fast path: bind the backend's corrupt_block kernel
+        # when the injector's substrate preconditions hold (the injector's
+        # own corrupt_array binding already encodes them: stock bit
+        # distribution, non-LFSR generator, backend provides the C tier).
+        block = self._injector.backend.kernel("corrupt_block")
+        self._block_kernel = (
+            block.func
+            if block is not None and self._injector._array_kernel is not None
+            else None
+        )
         self._array_flops = 0
         self._voltage = self._voltage_model.max_voltage
         if voltage is not None:
@@ -96,6 +106,11 @@ class StochasticProcessor:
     def fpu(self) -> StochasticFPU:
         """Scalar FPU view of this processor (per-operation fault injection)."""
         return self._fpu
+
+    @property
+    def backend(self):
+        """The compute backend the injector resolved at construction."""
+        return self._injector.backend
 
     @property
     def dtype(self) -> np.dtype:
@@ -187,6 +202,13 @@ class StochasticProcessor:
         self, values: np.ndarray, ops_per_element: Union[int, np.ndarray] = 1
     ) -> np.ndarray:
         """Corrupt an array of results of a block of FLOPs and count the FLOPs."""
+        if self._block_kernel is not None and type(ops_per_element) is int:
+            # Backend fast path: the whole round trip (float64 view,
+            # datapath cast, draws, widen back) as one compiled call with
+            # the numpy tier's exact draw protocol.
+            out = self._block_kernel(self, values, ops_per_element)
+            self._array_flops += ops_per_element * out.size
+            return out
         arr = np.asarray(values, dtype=np.float64)
         ops = np.asarray(ops_per_element)
         if ops.ndim == 0:

@@ -128,6 +128,21 @@ class TestCompatibility:
         assert not bh.compatible(other, make_record())
         assert bh.compatible(other, make_record(), match_machine=False)
 
+    def test_different_backend_never_compared(self):
+        compiled = dict(make_record(), backend="cnative")
+        assert not bh.compatible(compiled, make_record())
+        assert not bh.compatible(make_record(), compiled)
+        # Backend partitioning is absolute — relaxing the machine match
+        # must not let a compiled record be judged against numpy.
+        assert not bh.compatible(compiled, make_record(), match_machine=False)
+        assert bh.compatible(compiled, dict(make_record(wall=9.9), backend="cnative"))
+
+    def test_missing_backend_field_counts_as_numpy(self):
+        # Histories predating the backend layer keep their baselines.
+        assert bh.backend_key(make_record()) == "numpy"
+        explicit = dict(make_record(), backend="numpy")
+        assert bh.compatible(explicit, make_record())
+
 
 class TestBaseline:
     def test_median_absorbs_one_outlier(self):
@@ -298,3 +313,31 @@ class TestBackfillConversion:
                  "wall_seconds": 1.0}
         record = bh.history_record_from_bench(bench)
         assert record["machine"] == bh.machine_fingerprint()
+
+    def test_backend_extras_survive(self):
+        bench = {
+            "kernel": "iir",
+            "timestamp": "t",
+            "params": {"iterations": 200, "trials": 3},
+            "wall_seconds": 0.9,
+            "backend": "cnative",
+            "backend_version": "cffi-2.0.0",
+            "warmup_seconds": 1.5,
+            "numpy_seconds": 3.1,
+            "speedup_vs_numpy": 3.4,
+            "bit_identical_to_numpy": True,
+        }
+        record = bh.history_record_from_bench(bench, machine=MACHINE)
+        for field in (
+            "backend", "backend_version", "warmup_seconds",
+            "numpy_seconds", "speedup_vs_numpy", "bit_identical_to_numpy",
+        ):
+            assert record[field] == bench[field]
+        bh.validate_record(record)
+        assert bh.backend_key(record) == "cnative"
+        numpy_twin = bh.history_record_from_bench(
+            {"kernel": "iir", "timestamp": "t",
+             "params": {"iterations": 200, "trials": 3}, "wall_seconds": 3.1},
+            machine=MACHINE,
+        )
+        assert not bh.compatible(record, numpy_twin)
