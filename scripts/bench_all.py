@@ -51,6 +51,14 @@ cross-fault-model sorting grid executed under the serial, batched, and
 vectorized executors, recorded as ``BENCH_scenario_grid.json`` with the
 batched-tier speedups and a bit-identity verdict.
 
+The pseudo-kernel name ``campaign`` benchmarks the sharded campaign path
+(``repro.experiments.campaign``): a sorting sweep split into per-cell shards
+and run on a two-worker thread pool against a scratch store, compared
+bit-for-bit against the single-process serial engine, plus a resume leg that
+must reuse every shard from the store without recomputation.
+``BENCH_campaign.json`` records both wall times, the ratio, the resume wall
+time, and the bit-identity verdict.
+
 The pseudo-kernel name ``adaptive`` benchmarks the engine's
 confidence-target mode against its fixed-count twin on a sorting scenario
 grid *at equal reported precision*: the fixed run's worst per-point Wilson
@@ -65,16 +73,20 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.backends import DEFAULT_BACKEND, list_backends, resolve_backend, use_backend
 from repro.experiments import benchhistory, kernels
+from repro.experiments.campaign import CampaignRunner, ShardPlanner
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import run_scenario_grid
 from repro.experiments.sequential import ConfidenceTarget, wilson_half_width
+from repro.experiments.spec import SweepSpec
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -314,6 +326,100 @@ def bench_scenario_grid(args, backend) -> dict:
     }
 
 
+#: Fault-rate grid of the BENCH_campaign record (kept small so the serial
+#: reference leg stays affordable).
+CAMPAIGN_RATES = (0.0, 0.05, 0.2)
+
+
+def bench_campaign(args, backend) -> dict:
+    """Time the sharded campaign path against the single-process engine.
+
+    A two-series sorting sweep is split into per-cell shards
+    (``ShardPlanner("cell")``) and run on a two-worker thread pool with the
+    ``vectorized`` per-shard executor against a scratch store; the merged
+    result must be bit-identical to ``ExperimentEngine("serial")`` on the
+    same spec.  A second submission of the identical workload then replays
+    the resume path, which must reuse every shard (``computed == 0``) and
+    merge to the same values.  Both legs run under the selected backend, so
+    the bit-identity verdict holds for statistical-tier backends too.
+    """
+    warmup_seconds = warm_up_grid(backend)
+    iterations = max(int(10000 * args.scale), 500)
+    functions = kernels.sorting_kernel(
+        iterations=iterations,
+        series={"Base": None, "SGD+AS,SQS": "SGD+AS,SQS"},
+    )
+
+    def make_sweep() -> SweepSpec:
+        return SweepSpec(
+            trial_functions=functions, fault_rates=CAMPAIGN_RATES,
+            trials=args.trials, seed=kernels.WORKLOAD_SEED,
+        )
+
+    def snapshot(series_list):
+        return [(s.name, s.fault_rates, s.values) for s in series_list]
+
+    start = time.perf_counter()
+    serial_series = ExperimentEngine("serial").run_sweep(make_sweep())
+    serial_seconds = time.perf_counter() - start
+
+    store = tempfile.mkdtemp(prefix="bench-campaign-")
+    key = {"bench": "campaign", "iterations": iterations}
+    try:
+        runner = CampaignRunner(
+            store=store, planner=ShardPlanner("cell"),
+            pool="thread", workers=2, executor="vectorized",
+        )
+        campaign = runner.submit(make_sweep(), key=key)
+        start = time.perf_counter()
+        campaign_series = campaign.run()
+        campaign_seconds = time.perf_counter() - start
+
+        resumed = runner.submit(make_sweep(), key=key)
+        start = time.perf_counter()
+        resumed_series = resumed.run()
+        resume_seconds = time.perf_counter() - start
+        resume_clean = (
+            resumed.stats["computed"] == 0
+            and resumed.stats["reused"] == len(campaign.shards)
+        )
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+    identical = (
+        snapshot(campaign_series) == snapshot(serial_series)
+        and snapshot(resumed_series) == snapshot(serial_series)
+        and resume_clean
+    )
+    return {
+        "kernel": "campaign",
+        "figure": "run_campaign",
+        "figure_id": "Campaign (sharded sweep vs serial engine)",
+        "params": {
+            "series": ["Base", "SGD+AS,SQS"],
+            "fault_rates": list(CAMPAIGN_RATES),
+            "trials": args.trials,
+            "iterations": iterations,
+            "granularity": "cell",
+            "pool": "thread",
+            "workers": 2,
+        },
+        "sweep": True,
+        "batched": True,
+        "commit": commit_hash(),
+        "generated_by": "scripts/bench_all.py",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        **backend_fields(backend, warmup_seconds),
+        "wall_seconds": round(campaign_seconds, 4),
+        "serial_seconds": round(serial_seconds, 4),
+        "speedup_vs_serial": round(serial_seconds / max(campaign_seconds, 1e-9), 3),
+        "resume_seconds": round(resume_seconds, 4),
+        "shards_total": len(campaign.shards),
+        "resume_reused_all": resume_clean,
+        "bit_identical_to_serial": identical,
+    }
+
+
 #: Scenario presets of the BENCH_adaptive record (kept to two scenarios so
 #: the fixed-count twin stays affordable at the larger trial budget).
 ADAPTIVE_SCENARIOS = ("nominal", "low-order-seu")
@@ -414,10 +520,11 @@ def main() -> int:
         raise SystemExit(str(error))
     grid_requested = args.only is None or "scenario_grid" in args.only
     adaptive_requested = args.only is None or "adaptive" in args.only
+    campaign_requested = args.only is None or "campaign" in args.only
     if args.only:
         names = [
             name for name in args.only
-            if name not in ("scenario_grid", "adaptive")
+            if name not in ("scenario_grid", "adaptive", "campaign")
         ]
         try:
             specs = [kernels.get_kernel(name) for name in names]
@@ -463,6 +570,22 @@ def main() -> int:
             )
             if mismatched(record):
                 failures.append("scenario_grid")
+        if campaign_requested:
+            print("[bench_all] campaign (sharded sweep service) ...", flush=True)
+            record = bench_campaign(args, backend)
+            path = bench_path(args.output_dir, "campaign", backend)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            record_history(record)
+            verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+            print(
+                f"  serial {record['serial_seconds']:.2f}s, campaign "
+                f"{record['wall_seconds']:.2f}s "
+                f"(x{record['speedup_vs_serial']:.2f}, "
+                f"{record['shards_total']} shards), resume "
+                f"{record['resume_seconds']:.2f}s, bit-identity {verdict}"
+            )
+            if mismatched(record):
+                failures.append("campaign")
         if adaptive_requested:
             print("[bench_all] adaptive (confidence-target budget) ...", flush=True)
             record = bench_adaptive(args, backend)

@@ -44,7 +44,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
 
 #: Pseudo-kernels benchmarked by scripts/bench_all.py outside the registry.
-EXTRA_KERNELS = ("scenario_grid", "adaptive")
+EXTRA_KERNELS = ("scenario_grid", "adaptive", "campaign")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -6,13 +6,15 @@ selection falls back to the numpy tier (see ``resolve_backend``), while the
 test-suite ``requires_numba`` marks skip the numba parameter outright.
 
 The JIT kernels draw uniforms through ``numpy.random.Generator.random()``
-inside nopython mode, which numba implements on the generator's own
-bit-generator state and therefore consumes the exact stream the numpy tier
-consumes; bit flips are XORs on the caller-provided unsigned view, and the
-inverse-CDF lookup replicates ``numpy.searchsorted(side="right")``.  The
-backend provides the array kernels (``corrupt_array``/``batch_corrupt``);
-the scalar IIR recursion stays on the numpy/cnative tiers (see the support
-matrix in ``docs/backends.md``).
+and bounded integers through ``Generator.integers()`` inside nopython mode,
+which numba implements on the generator's own bit-generator state and
+therefore consumes the exact stream the numpy tier consumes (including
+Lemire rejection sampling's buffered 32-bit fast path); bit flips are XORs
+on unsigned views, and the inverse-CDF lookup replicates
+``numpy.searchsorted(side="right")``.  The backend provides the full
+cnative kernel set — the array kernels (``corrupt_array``/``batch_corrupt``)
+plus the fused hot paths (``corrupt_block``, ``commit_scalar``,
+``direct_form_filter``) — see the support matrix in ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ from repro.backends.registry import (
 
 __all__ = ["NUMBA"]
 
-_CORE = None  # (corrupt_u32, corrupt_u64) njit functions, compiled once
+_CORE = None  # dict of njit functions, compiled once per process
 
 
 def _ensure_core():
@@ -45,6 +47,19 @@ def _ensure_core():
     except ImportError:
         raise BackendUnavailable("numba is not installed") from None
 
+    @numba.njit
+    def draw_bit(gen, cdf):
+        # rng.random(1) then numpy.searchsorted(cdf, u, side="right").
+        u = gen.random()
+        lo, hi = 0, cdf.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] <= u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def _make(uint_one):
         def corrupt(gen, bits, threshold, cdf):
             n = bits.size
@@ -55,38 +70,302 @@ def _ensure_core():
                     idx[n_faults] = i
                     n_faults += 1
             for k in range(n_faults):
-                u = gen.random()
-                lo, hi = 0, cdf.size
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if cdf[mid] <= u:
-                        lo = mid + 1
-                    else:
-                        hi = mid
-                bits[idx[k]] ^= uint_one << lo
+                bits[idx[k]] ^= uint_one << draw_bit(gen, cdf)
             return n_faults
 
         return numba.njit(corrupt)
 
-    _CORE = (_make(np.uint32(1)), _make(np.uint64(1)))
+    # Scalar bit flips work on one-element scratch arrays because nopython
+    # mode has no scalar ``.view``; the f32 variant narrows to the datapath
+    # width first and widens back (the widened value re-narrows exactly).
+    @numba.njit
+    def flip64(v, bit):
+        buf = np.empty(1, np.float64)
+        buf[0] = v
+        bits = buf.view(np.uint64)
+        bits[0] ^= np.uint64(1) << np.uint64(bit)
+        return buf[0]
+
+    @numba.njit
+    def flip32(v, bit):
+        buf = np.empty(1, np.float32)
+        buf[0] = v
+        bits = buf.view(np.uint32)
+        bits[0] ^= np.uint32(1) << np.uint32(bit)
+        return np.float64(buf[0])
+
+    @numba.njit
+    def roundtrip32(v):
+        return np.float64(np.float32(v))
+
+    # ---- corrupt_block: the whole StochasticProcessor.corrupt round trip —
+    # float64 in, datapath-dtype corruption, float64 out, with the numpy
+    # tier's exact draw protocol (n mask uniforms, then the bit draws).  A
+    # negative threshold means rate <= 0, which draws nothing; a zero
+    # threshold still draws its n never-matching uniforms. ----
+    @numba.njit
+    def block64(gen, vals, out, threshold, cdf):
+        n = vals.size
+        for i in range(n):
+            out[i] = vals[i]
+        if threshold < 0.0:
+            return 0
+        idx = np.empty(n, np.int64)
+        n_faults = 0
+        for i in range(n):
+            if gen.random() < threshold:
+                idx[n_faults] = i
+                n_faults += 1
+        for k in range(n_faults):
+            out[idx[k]] = flip64(out[idx[k]], draw_bit(gen, cdf))
+        return n_faults
+
+    @numba.njit
+    def block32(gen, vals, out, threshold, cdf):
+        n = vals.size
+        for i in range(n):
+            out[i] = roundtrip32(vals[i])
+        if threshold < 0.0:
+            return 0
+        idx = np.empty(n, np.int64)
+        n_faults = 0
+        for i in range(n):
+            if gen.random() < threshold:
+                idx[n_faults] = i
+                n_faults += 1
+        for k in range(n_faults):
+            out[idx[k]] = flip32(out[idx[k]], draw_bit(gen, cdf))
+        return n_faults
+
+    # ---- commit_scalar: one FaultInjector.corrupt_scalar countdown step at
+    # a positive rate (the wrapper handles protected / rate<=0 itself).
+    # state[0] = ops_until_fault (in/out); state[1] set to 1 on a fault.
+    # The interval draw is rng.integers(1, upper + 1), scheduled *before*
+    # the bit flip, exactly as _schedule_next_fault orders it. ----
+    def _make_step(flip, passthrough):
+        def step(gen, v, upper, cdf, state):
+            if state[0] < 0:
+                return passthrough(v)
+            state[0] -= 1
+            if state[0] > 0:
+                return passthrough(v)
+            state[0] = gen.integers(1, upper + 1)
+            state[1] = 1
+            return flip(v, draw_bit(gen, cdf))
+
+        return numba.njit(step)
+
+    @numba.njit
+    def ident(v):
+        return v
+
+    step64 = _make_step(flip64, ident)
+    step32 = _make_step(flip32, roundtrip32)
+
+    # ---- direct-form IIR: the whole noisy_direct_form_filter recursion
+    # with the commit protocol inlined.  st[0] = ops_until_fault (in/out);
+    # st[1] += faults; st[2] += injector ops; st[3] += FPU flops. ----
+    def _make_filter(flip, passthrough):
+        def commit(gen, v, rate, upper, cdf, st):
+            st[3] += 1
+            if rate <= 0.0:
+                return passthrough(v)  # injector untouched
+            st[2] += 1
+            if st[0] < 0:
+                return passthrough(v)
+            st[0] -= 1
+            if st[0] > 0:
+                return passthrough(v)
+            st[0] = gen.integers(1, upper + 1)  # schedule, then flip
+            st[1] += 1
+            return flip(v, draw_bit(gen, cdf))
+
+        commit = numba.njit(commit)
+
+        def filter_core(gen, u, a, b, out, rate, upper, cdf, st):
+            n = u.size
+            na = a.size
+            nb = b.size
+            for t in range(n):
+                acc = 0.0
+                amax = min(t + 1, na)
+                for i in range(amax):
+                    acc = commit(
+                        gen, acc + commit(gen, a[i] * u[t - i], rate, upper, cdf, st),
+                        rate, upper, cdf, st,
+                    )
+                bmax = min(t + 1, nb)
+                for i in range(1, bmax):
+                    acc = commit(
+                        gen, acc - commit(gen, b[i] * out[t - i], rate, upper, cdf, st),
+                        rate, upper, cdf, st,
+                    )
+                # StochasticFPU.div's explicit zero-divisor branch (b == 0.0
+                # also matches -0.0, exactly as the python comparison does).
+                b0 = b[0]
+                if b0 == 0.0:
+                    if acc == 0.0 or np.isnan(acc):
+                        r = np.nan
+                    elif acc > 0.0:
+                        r = np.inf
+                    else:
+                        r = -np.inf
+                else:
+                    r = acc / b0
+                out[t] = commit(gen, r, rate, upper, cdf, st)
+
+        return numba.njit(filter_core)
+
+    _CORE = {
+        "corrupt_u32": _make(np.uint32(1)),
+        "corrupt_u64": _make(np.uint64(1)),
+        "block32": block32,
+        "block64": block64,
+        "step32": step32,
+        "step64": step64,
+        "filter32": _make_filter(flip32, roundtrip32),
+        "filter64": _make_filter(flip64, ident),
+        "roundtrip32": roundtrip32,
+    }
     return _CORE
 
 
 def _corrupt_bits(rng, out: np.ndarray, threshold: float, cdf: np.ndarray) -> int:
-    corrupt_u32, corrupt_u64 = _ensure_core()
+    core = _ensure_core()
     if out.dtype == np.float32:
-        return int(corrupt_u32(rng, out.reshape(-1).view(np.uint32), threshold, cdf))
-    return int(corrupt_u64(rng, out.reshape(-1).view(np.uint64), threshold, cdf))
+        return int(
+            core["corrupt_u32"](rng, out.reshape(-1).view(np.uint32), threshold, cdf)
+        )
+    return int(
+        core["corrupt_u64"](rng, out.reshape(-1).view(np.uint64), threshold, cdf)
+    )
+
+
+def _injector_state(injector) -> dict:
+    """Cached per-injector call state: CDF buffer, dtype flag, counters."""
+    state = injector.__dict__.get("_numba_state")
+    if state is None:
+        state = {
+            "f32": injector.dtype == np.dtype(np.float32),
+            "cdf": np.ascontiguousarray(
+                injector.bit_distribution.cdf(), dtype=np.float64
+            ),
+            "counters": np.zeros(2, dtype=np.int64),
+            "thresholds": {},
+            "uppers": {},
+        }
+        injector.__dict__["_numba_state"] = state
+    return state
+
+
+def _threshold(rate: float, state: dict, ops: int) -> float:
+    key = (rate, ops)
+    threshold = state["thresholds"].get(key)
+    if threshold is None:
+        from repro.faults.vectorized import effective_fault_probability
+
+        threshold = float(effective_fault_probability(rate, ops))
+        state["thresholds"][key] = threshold
+    return threshold
 
 
 def corrupt_array(injector, out: np.ndarray, ops: int) -> int:
     """JIT path of :meth:`FaultInjector.corrupt_array` (same contract as the
     cnative kernel of the same name)."""
-    from repro.faults.vectorized import effective_fault_probability
+    state = _injector_state(injector)
+    threshold = _threshold(injector.fault_rate, state, ops)
+    return _corrupt_bits(injector.rng, out, threshold, state["cdf"])
 
-    threshold = float(effective_fault_probability(injector.fault_rate, ops))
-    cdf = np.ascontiguousarray(injector.bit_distribution.cdf(), dtype=np.float64)
-    return _corrupt_bits(injector.rng, out, threshold, cdf)
+
+def corrupt_block(proc, values, ops: int) -> np.ndarray:
+    """Bit-identical JIT path of :meth:`StochasticProcessor.corrupt`.
+
+    Same contract as the cnative kernel of the same name: the whole per-call
+    round trip — float64 view, datapath-dtype cast, mask/bit draws, widen
+    back — as one compiled call, updating the injector's operation and fault
+    counters.  A non-positive rate draws nothing; a zero-``ops`` call still
+    draws its n mask uniforms, exactly like the numpy tier.
+    """
+    core = _ensure_core()
+    injector = proc._injector
+    state = _injector_state(injector)
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    n = arr.size
+    injector._ops_observed += ops * n
+    rate = injector._fault_rate
+    out = np.empty_like(arr)
+    if n == 0:
+        return out
+    threshold = -1.0 if rate <= 0.0 else _threshold(rate, state, ops)
+    fn = core["block32"] if state["f32"] else core["block64"]
+    n_faults = fn(
+        injector.rng, arr.reshape(-1), out.reshape(-1), threshold, state["cdf"]
+    )
+    if n_faults:
+        injector._faults_injected += int(n_faults)
+    return out
+
+
+def commit_scalar(fpu, value: float) -> float:
+    """Bit-identical JIT path of one :meth:`StochasticFPU._commit` step.
+
+    Protected and fault-free commits reduce to the datapath round trip; at a
+    positive rate the countdown / interval-draw / bit-flip step of
+    :meth:`FaultInjector.corrupt_scalar` runs as one compiled call, with the
+    injector's counters synced around it.  FLOP counting stays with the
+    caller.
+    """
+    core = _ensure_core()
+    injector = fpu._injector
+    state = _injector_state(injector)
+    if fpu._protected_depth > 0 or injector._fault_rate <= 0.0:
+        if state["f32"]:
+            return float(core["roundtrip32"](value))
+        return float(value)
+    rate = injector._fault_rate
+    injector._ops_observed += 1
+    counters = state["counters"]
+    counters[0] = injector._ops_until_fault
+    counters[1] = 0
+    upper = state["uppers"].get(rate)
+    if upper is None:
+        # int(round(...)) is banker's rounding, matching _uniform_interval.
+        upper = max(1, int(round(2.0 / rate)))
+        state["uppers"][rate] = upper
+    fn = core["step32"] if state["f32"] else core["step64"]
+    result = float(fn(injector.rng, float(value), upper, state["cdf"], counters))
+    injector._ops_until_fault = int(counters[0])
+    if counters[1]:
+        injector._faults_injected += 1
+    return result
+
+
+def direct_form_filter(filt, u: np.ndarray, proc) -> np.ndarray:
+    """Bit-identical JIT path of ``noisy_direct_form_filter``.
+
+    Runs the entire recursion — every commit's dtype round-trip, the
+    interval countdown, interval/bit draws, and the explicit zero-divisor
+    branch of ``StochasticFPU.div`` — in one compiled call, then folds the
+    counter deltas back into the injector and FPU.
+    """
+    core = _ensure_core()
+    injector = proc.injector
+    fpu = proc.fpu
+    state = _injector_state(injector)
+    u_arr = np.ascontiguousarray(u, dtype=np.float64).ravel()
+    a = np.ascontiguousarray(filt.feedforward, dtype=np.float64)
+    b = np.ascontiguousarray(filt.feedback, dtype=np.float64)
+    out = np.zeros_like(u_arr)
+    rate = float(injector.fault_rate)
+    upper = max(1, int(round(2.0 / rate))) if rate > 0.0 else 1
+    counters = np.array([injector._ops_until_fault, 0, 0, 0], dtype=np.int64)
+    fn = core["filter32"] if state["f32"] else core["filter64"]
+    fn(injector.rng, u_arr, a, b, out, rate, upper, state["cdf"], counters)
+    injector._ops_until_fault = int(counters[0])
+    injector._faults_injected += int(counters[1])
+    injector._ops_observed += int(counters[2])
+    fpu._flops += int(counters[3])
+    return out
 
 
 def batch_corrupt(batch, native: np.ndarray, row_size: int, ops: int) -> np.ndarray:
@@ -112,10 +391,26 @@ def batch_corrupt(batch, native: np.ndarray, row_size: int, ops: int) -> np.ndar
 def _warmup() -> float:
     """Compile the JIT cores against throwaway data; returns the seconds."""
     started = time.perf_counter()
-    corrupt_u32, corrupt_u64 = _ensure_core()
+    core = _ensure_core()
     cdf = np.array([0.5, 1.0])
-    corrupt_u32(np.random.default_rng(0), np.zeros(4, np.uint32), 0.5, cdf)
-    corrupt_u64(np.random.default_rng(0), np.zeros(4, np.uint64), 0.5, cdf)
+    core["corrupt_u32"](np.random.default_rng(0), np.zeros(4, np.uint32), 0.5, cdf)
+    core["corrupt_u64"](np.random.default_rng(0), np.zeros(4, np.uint64), 0.5, cdf)
+    scratch64 = np.zeros(4, np.float64)
+    core["block32"](np.random.default_rng(0), scratch64, scratch64.copy(), 0.5, cdf)
+    core["block64"](np.random.default_rng(0), scratch64, scratch64.copy(), 0.5, cdf)
+    counters = np.zeros(2, np.int64)
+    core["step32"](np.random.default_rng(0), 1.0, 3, cdf, counters)
+    core["step64"](np.random.default_rng(0), 1.0, 3, cdf, counters)
+    taps = np.array([1.0, 0.5])
+    st = np.zeros(4, np.int64)
+    core["filter32"](
+        np.random.default_rng(0), scratch64, taps, taps, scratch64.copy(),
+        0.5, 3, cdf, st,
+    )
+    core["filter64"](
+        np.random.default_rng(0), scratch64, taps, taps, scratch64.copy(),
+        0.5, 3, cdf, st,
+    )
     return time.perf_counter() - started
 
 
@@ -132,7 +427,12 @@ def _load() -> Dict[str, KernelImpl]:
     _ensure_core()
     return {
         "corrupt_array": KernelImpl("corrupt_array", corrupt_array, BIT_IDENTICAL),
+        "corrupt_block": KernelImpl("corrupt_block", corrupt_block, BIT_IDENTICAL),
+        "commit_scalar": KernelImpl("commit_scalar", commit_scalar, BIT_IDENTICAL),
         "batch_corrupt": KernelImpl("batch_corrupt", batch_corrupt, BIT_IDENTICAL),
+        "direct_form_filter": KernelImpl(
+            "direct_form_filter", direct_form_filter, BIT_IDENTICAL
+        ),
     }
 
 

@@ -89,9 +89,10 @@ from repro.experiments.spec import (
     SweepSpec,
     TrialSpec,
 )
-from repro.experiments.runner import run_fault_rate_sweep, run_scenario_grid
+from repro.experiments.runner import run_campaign, run_fault_rate_sweep, run_scenario_grid
 from repro.experiments.reporting import format_figure, figure_to_rows, save_figure_report
 from repro.experiments import benchhistory
+from repro.experiments import campaign
 from repro.experiments import figures
 from repro.experiments import kernels
 from repro.experiments import tensor
@@ -134,6 +135,8 @@ __all__ = [
     "bootstrap_interval",
     "run_fault_rate_sweep",
     "run_scenario_grid",
+    "run_campaign",
+    "campaign",
     "DEFAULT_FAULT_RATES",
     "format_figure",
     "figure_to_rows",

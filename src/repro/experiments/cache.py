@@ -28,10 +28,37 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.experiments.results import FigureResult
 
-__all__ = ["spec_hash", "ResultCache"]
+__all__ = ["spec_hash", "atomic_write_json", "ResultCache"]
 
 #: Bumped whenever the cached representation changes incompatibly.
 _SCHEMA_VERSION = 1
+
+
+def atomic_write_json(path: Path, entry: Mapping[str, Any]) -> Path:
+    """Publish ``entry`` as JSON at ``path`` via a per-writer atomic rename.
+
+    The write goes through a temporary file unique to this writer (pid +
+    uuid) followed by an atomic rename, so a crashed writer cannot leave a
+    truncated entry behind and two processes publishing the same path
+    concurrently cannot interleave their writes into one corrupt file (each
+    publishes its own complete file; last rename wins).  This is the single
+    write discipline of every on-disk artifact store — the figure
+    :class:`ResultCache` and the campaign layer's
+    :class:`~repro.experiments.campaign.ShardStore` both route through it.
+
+    No ``default=str`` fallback: a non-JSON value in the entry must fail
+    loudly at store time, not round-trip as its ``str()``.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    try:
+        tmp_path.write_text(json.dumps(entry, sort_keys=True))
+        tmp_path.replace(path)
+    finally:
+        # A failed replace (or an exception mid-write) must not leave the
+        # tmp file behind to accumulate in the artifact directory.
+        tmp_path.unlink(missing_ok=True)
+    return path
 
 
 def _canonical_json(payload: Mapping[str, Any]) -> str:
@@ -111,24 +138,9 @@ class ResultCache:
         their writes into one corrupt entry (each publishes its own complete
         file; last rename wins — both contents are equivalent by key).
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(payload)
         entry = {
             "schema": _SCHEMA_VERSION,
             "key": dict(payload),
             "figure": figure.to_dict(),
         }
-        # The tmp name must be unique per writer: a shared name (e.g. a plain
-        # ``.tmp`` suffix) lets concurrent writers interleave write_text and
-        # publish a corrupt entry.
-        tmp_path = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
-        try:
-            # No default=str fallback: a non-JSON value in the figure body
-            # must fail loudly at store time, not round-trip as its str().
-            tmp_path.write_text(json.dumps(entry, sort_keys=True))
-            tmp_path.replace(path)
-        finally:
-            # A failed replace (or an exception mid-write) must not leave the
-            # tmp file behind to accumulate in the cache directory.
-            tmp_path.unlink(missing_ok=True)
-        return path
+        return atomic_write_json(self._path(payload), entry)

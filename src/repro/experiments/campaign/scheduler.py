@@ -1,0 +1,280 @@
+"""Dispatching pending shards to a pluggable worker pool.
+
+:class:`CampaignScheduler` takes a planned shard list, skips every shard the
+:class:`~.store.ShardStore` already holds, and runs the rest on one of three
+pools:
+
+``serial``
+    Shards run inline, one at a time — the reference pool.
+``thread``
+    A ``ThreadPoolExecutor``: shards overlap in one process.  Useful when
+    each shard's executor releases the GIL (numpy tensor batches) or is
+    itself a process pool (the executors module serializes concurrent
+    process-executor runs safely).
+``process``
+    A fork-context ``ProcessPoolExecutor``: one OS process per worker, with
+    **retry-on-worker-death** — a died worker breaks the pool, which is
+    rebuilt and the still-unfinished shards requeued, up to ``max_retries``
+    rebuilds.  Completed shards were already published to the store, so a
+    retry never recomputes them.  Falls back to ``thread`` where fork is
+    unsupported (same platform test as the process executor).
+
+Within a shard, trials run through the ordinary executor stack
+(:func:`~repro.experiments.executors.get_executor` by name, so the choice
+ships to forked workers as plain strings); the sweep's compute-backend
+choice rides on the sweep object itself.  Results are bit-identical across
+pools for the same reason they are across executors: every trial and every
+adaptive stopping decision derives from grid coordinates alone.
+
+Like the process executor, the process pool hands the (unpicklable) sweep to
+workers by fork inheritance through a module-level slot, so only one process
+campaign can run at a time per process (enforced with a lock + error).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.engine import run_adaptive_points, run_point_block
+from repro.experiments.executors import Executor, ProcessExecutor, get_executor
+from repro.experiments.campaign.planner import Shard
+from repro.experiments.campaign.store import ShardResult, ShardStore
+from repro.experiments.spec import SweepSpec
+
+__all__ = [
+    "POOL_KINDS",
+    "WorkerPoolError",
+    "execute_shard",
+    "CampaignScheduler",
+    "list_pools",
+]
+
+#: The pluggable worker pools, by name.
+POOL_KINDS = ("serial", "thread", "process")
+
+#: Callback invoked as each pending shard completes: ``on_shard(shard, result)``.
+#: Raising aborts the campaign run (already-stored shards stay in the store).
+ShardCallback = Callable[[Shard, ShardResult], None]
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool died more times than the retry budget allows."""
+
+
+def execute_shard(sweep: SweepSpec, shard: Shard, executor: Executor) -> ShardResult:
+    """Run one shard's points through the shared engine execution path.
+
+    This is the whole worker loop body: the same
+    :func:`~repro.experiments.engine.run_point_block` /
+    :func:`~repro.experiments.engine.run_adaptive_points` calls the engine
+    makes for the full grid, restricted to the shard's points.
+    """
+    points = list(shard.points)
+    if sweep.adaptive:
+        collected, halted_map = run_adaptive_points(sweep, points, executor)
+        halted = tuple(bool(halted_map[point]) for point in points)
+    else:
+        collected = run_point_block(sweep, points, executor)
+        halted = None
+    return ShardResult(
+        points=tuple(points),
+        values=tuple(tuple(collected[point]) for point in points),
+        halted=halted,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool plumbing (fork inheritance, same pattern as ProcessExecutor)
+# --------------------------------------------------------------------------- #
+_ACTIVE_CAMPAIGN: Optional[Tuple[SweepSpec, Sequence[Shard], str, Dict[str, Any]]] = None
+_ACTIVE_CAMPAIGN_LOCK = threading.RLock()
+
+
+def _run_shard_by_index(index: int) -> Tuple[int, Tuple[Tuple[float, ...], ...], Optional[Tuple[bool, ...]]]:
+    sweep, shards, executor_name, executor_options = _ACTIVE_CAMPAIGN
+    executor = get_executor(executor_name, **executor_options)
+    result = execute_shard(sweep, shards[index], executor)
+    return index, result.values, result.halted
+
+
+class CampaignScheduler:
+    """Runs pending shards on a worker pool and publishes them to the store.
+
+    Parameters
+    ----------
+    pool:
+        ``"serial"``, ``"thread"``, or ``"process"`` (see module docstring).
+    workers:
+        Pool size; defaults to 2.  A one-worker pool degrades to serial.
+    max_retries:
+        How many times a broken process pool is rebuilt before
+        :class:`WorkerPoolError` is raised.  Ignored by the other pools.
+    """
+
+    def __init__(
+        self,
+        pool: str = "thread",
+        workers: Optional[int] = None,
+        max_retries: int = 2,
+    ) -> None:
+        if pool not in POOL_KINDS:
+            raise ValueError(f"unknown pool {pool!r}; available: {list(POOL_KINDS)}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        self.pool = pool
+        self.workers = workers if workers is not None else 2
+        self.max_retries = max_retries
+
+    def resolved_pool(self) -> str:
+        """The pool that will actually run: process falls back off-fork."""
+        if self.pool == "process" and not ProcessExecutor.is_supported():
+            return "thread"
+        if self.workers <= 1 and self.pool != "serial":
+            return "serial"
+        return self.pool
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        shards: Sequence[Shard],
+        store: ShardStore,
+        executor: str = "auto",
+        executor_options: Optional[Mapping[str, Any]] = None,
+        on_shard: Optional[ShardCallback] = None,
+    ) -> Dict[str, Any]:
+        """Execute every shard not already in the store; return run stats.
+
+        Completed shards publish to ``store`` as they finish (atomic,
+        content-addressed), so a killed run loses at most the in-flight
+        shards — everything already published is skipped by the next run.
+        Returns ``{"total", "reused", "computed", "retries", "pool"}``.
+        """
+        options = dict(executor_options or {})
+        completed_ids = store.completed(shards)
+        pending = [shard for shard in shards if shard.shard_id not in completed_ids]
+        stats: Dict[str, Any] = {
+            "total": len(shards),
+            "reused": len(shards) - len(pending),
+            "computed": 0,
+            "retries": 0,
+            "pool": self.resolved_pool() if pending else self.pool,
+        }
+        if not pending:
+            return stats
+
+        def publish(shard: Shard, result: ShardResult) -> None:
+            store.store_shard(shard, result)
+            stats["computed"] += 1
+            if on_shard is not None:
+                on_shard(shard, result)
+
+        pool_kind = stats["pool"]
+        if pool_kind == "serial":
+            for shard in pending:
+                result = execute_shard(sweep, shard, get_executor(executor, **options))
+                publish(shard, result)
+        elif pool_kind == "thread":
+            self._run_thread_pool(sweep, pending, executor, options, publish)
+        else:
+            self._run_process_pool(
+                sweep, shards, pending, executor, options, publish, stats
+            )
+        return stats
+
+    def _run_thread_pool(
+        self,
+        sweep: SweepSpec,
+        pending: Sequence[Shard],
+        executor: str,
+        options: Dict[str, Any],
+        publish: Callable[[Shard, ShardResult], None],
+    ) -> None:
+        workers = min(self.workers, len(pending))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    execute_shard, sweep, shard, get_executor(executor, **options)
+                ): shard
+                for shard in pending
+            }
+            try:
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        publish(futures[future], future.result())
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    def _run_process_pool(
+        self,
+        sweep: SweepSpec,
+        shards: Sequence[Shard],
+        pending: Sequence[Shard],
+        executor: str,
+        options: Dict[str, Any],
+        publish: Callable[[Shard, ShardResult], None],
+        stats: Dict[str, Any],
+    ) -> None:
+        global _ACTIVE_CAMPAIGN
+        remaining: Dict[int, Shard] = {shard.index: shard for shard in pending}
+        attempts = 0
+        with _ACTIVE_CAMPAIGN_LOCK:
+            if _ACTIVE_CAMPAIGN is not None:
+                raise RuntimeError(
+                    "the process worker pool is not reentrant within one process"
+                )
+            _ACTIVE_CAMPAIGN = (sweep, tuple(shards), executor, options)
+            try:
+                context = multiprocessing.get_context("fork")
+                while remaining:
+                    workers = min(self.workers, len(remaining))
+                    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+                    try:
+                        futures = {
+                            pool.submit(_run_shard_by_index, index): shard
+                            for index, shard in remaining.items()
+                        }
+                        unfinished = set(futures)
+                        while unfinished:
+                            done, unfinished = wait(
+                                unfinished, return_when=FIRST_COMPLETED
+                            )
+                            for future in done:
+                                # A died worker surfaces here as
+                                # BrokenProcessPool, caught below.
+                                index, values, halted = future.result()
+                                shard = remaining.pop(index)
+                                publish(
+                                    shard,
+                                    ShardResult(
+                                        points=shard.points,
+                                        values=values,
+                                        halted=halted,
+                                    ),
+                                )
+                    except BrokenProcessPool as error:
+                        attempts += 1
+                        if attempts > self.max_retries:
+                            raise WorkerPoolError(
+                                f"worker pool died {attempts} times "
+                                f"({len(remaining)} shards unfinished); "
+                                f"retry budget of {self.max_retries} exhausted"
+                            ) from error
+                        stats["retries"] += 1
+                    finally:
+                        pool.shutdown(wait=False, cancel_futures=True)
+            finally:
+                _ACTIVE_CAMPAIGN = None
+
+
+def list_pools() -> List[str]:
+    """Names of the available worker pools (parallel to list_executors)."""
+    return list(POOL_KINDS)

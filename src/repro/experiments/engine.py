@@ -30,9 +30,20 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.executors import Executor, get_executor
 from repro.experiments.results import FigureResult, SeriesResult
 from repro.experiments.sequential import PointStatus
-from repro.experiments.spec import SweepSpec, TrialSpec
+from repro.experiments.spec import PointKey, SweepSpec, TrialSpec
 
-__all__ = ["ProgressEvent", "ExperimentEngine"]
+__all__ = [
+    "ProgressEvent",
+    "ExperimentEngine",
+    "run_point_block",
+    "run_adaptive_points",
+    "assemble_series",
+    "point_label",
+    "point_rate",
+]
+
+#: Per-point trial values, keyed by (series_index, scenario_index, rate_index).
+PointValues = Dict[PointKey, List[float]]
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,178 @@ class ProgressEvent:
 
 #: Progress callback signature.
 ProgressCallback = Callable[[ProgressEvent], None]
+
+
+# --------------------------------------------------------------------------- #
+# Point-restricted execution (shared by the engine and the campaign layer)
+# --------------------------------------------------------------------------- #
+# The engine's two sweep modes — the pre-planned fixed-count grid and the
+# adaptive round loop — are expressed below as free functions over an
+# arbitrary *subset* of grid points.  ``ExperimentEngine.run_sweep`` is the
+# all-points call (one implicit shard spanning the whole grid);
+# ``repro.experiments.campaign`` runs the same functions per shard and merges
+# with the same :func:`assemble_series`, which is why a sharded campaign is
+# bit-identical to the serial path by construction rather than by accident.
+
+
+def point_label(sweep: SweepSpec, point: PointKey) -> str:
+    """The display name of one grid point's series (scenario-qualified)."""
+    series_index, scenario_index, _ = point
+    name = sweep.series_names[series_index]
+    if scenario_index is not None:
+        name = f"{name} @ {sweep.scenarios[scenario_index].name}"
+    return name
+
+
+def point_rate(sweep: SweepSpec, point: PointKey) -> float:
+    """The effective fault rate of one grid point."""
+    series_index, scenario_index, rate_index = point
+    rate = sweep.fault_rates[rate_index]
+    if scenario_index is not None:
+        rate = sweep.scenarios[scenario_index].effective_fault_rate(rate)
+    return rate
+
+
+def run_point_block(
+    sweep: SweepSpec,
+    points: Sequence[PointKey],
+    executor: Executor,
+    make_emitter: Optional[Callable[[Sequence[TrialSpec]], Callable[[int, float], None]]] = None,
+) -> PointValues:
+    """Run the fixed-count grid restricted to ``points``.
+
+    Expands trial indices ``[0, sweep.trials)`` for exactly the given grid
+    points (in plan order, with the same coordinate-derived seeds the full
+    grid would carry) and returns each point's trial values in trial order.
+    With ``points = sweep.point_keys()`` this is the whole fixed-count sweep.
+    """
+    specs = sweep.expand_trials(0, sweep.trials, points=points)
+    emit = make_emitter(specs) if make_emitter is not None else None
+    values = executor.run(sweep, specs, emit)
+    collected: PointValues = {point: [] for point in points}
+    for spec, value in zip(specs, values):
+        point = (spec.series_index, spec.scenario_index, spec.rate_index)
+        collected[point].append(float(value))
+    return collected
+
+
+def run_adaptive_points(
+    sweep: SweepSpec,
+    points: Sequence[PointKey],
+    executor: Executor,
+    make_round_emitter: Optional[
+        Callable[[Sequence[TrialSpec], PointValues], Callable[[int, float], None]]
+    ] = None,
+    on_point_status: Optional[Callable[[PointKey, PointStatus], None]] = None,
+) -> Tuple[PointValues, Dict[PointKey, bool]]:
+    """Run the adaptive (confidence-target) round loop restricted to ``points``.
+
+    Each round expands one deterministic block of trial indices for the
+    still-active points (via :meth:`SweepSpec.expand_trials`, so the trials
+    carry exactly the coordinate-derived seeds the fixed grid would give
+    them) and runs it through ``executor`` unchanged.  After the round,
+    every active point recomputes its interval and stops independently once
+    the target half-width is met — or unconditionally at the policy's
+    ``max_trials`` cap.  Because trial values and bootstrap streams depend
+    only on coordinates, a point's stopping pattern is independent of which
+    other points share its batch: running a subset of the grid (a campaign
+    shard) reproduces exactly the trials and stopping decisions the
+    full-grid loop would give those points.
+
+    Returns the per-point trial values and the per-point early-halt flags.
+    """
+    policy = sweep.policy
+    collected: PointValues = {point: [] for point in points}
+    halted: Dict[PointKey, bool] = {}
+    active = list(points)
+    round_index = 0
+    while active:
+        start = round_index * policy.batch
+        stop = min(start + policy.batch, policy.max_trials)
+        specs = sweep.expand_trials(start, stop, points=active)
+        emit = (
+            make_round_emitter(specs, collected)
+            if make_round_emitter is not None
+            else None
+        )
+        values = executor.run(sweep, specs, emit)
+        for spec, value in zip(specs, values):
+            point = (spec.series_index, spec.scenario_index, spec.rate_index)
+            collected[point].append(float(value))
+        still_active = []
+        for point in active:
+            trial_values = collected[point]
+            series_index, scenario_index, rate_index = point
+            status = policy.assess(
+                trial_values,
+                policy.stream_key(
+                    sweep.seed, series_index, scenario_index,
+                    rate_index, len(trial_values),
+                ),
+            )
+            if status.target_met and status.trials_used < policy.max_trials:
+                halted[point] = True
+            elif status.trials_used >= policy.max_trials:
+                halted[point] = False
+            else:
+                still_active.append(point)
+            if on_point_status is not None:
+                on_point_status(point, status)
+        active = still_active
+        round_index += 1
+    return collected, halted
+
+
+def assemble_series(
+    sweep: SweepSpec,
+    collected: Mapping[PointKey, Sequence[float]],
+    halted: Optional[Mapping[PointKey, bool]] = None,
+) -> List[SeriesResult]:
+    """Assemble per-series results from per-point trial values.
+
+    This is the single merge step behind both execution paths: the engine
+    assembles its all-points run and the campaign layer assembles shard
+    artifacts through the same function, so the merged output is
+    byte-identical however the points were partitioned.  ``halted`` is the
+    adaptive round loop's early-stop map; when given, ``trials_used`` /
+    ``halted_early`` are populated per point (fixed-count sweeps leave both
+    ``None``, preserving the historical serialized form).
+    """
+    def build_series(
+        name: str, fault_rates: List[float], series_index: int,
+        scenario_index: Optional[int],
+    ) -> SeriesResult:
+        points = [
+            (series_index, scenario_index, rate_index)
+            for rate_index in range(len(sweep.fault_rates))
+        ]
+        series = SeriesResult(
+            name=name,
+            fault_rates=fault_rates,
+            values=[[float(v) for v in collected[point]] for point in points],
+        )
+        if halted is not None:
+            series.trials_used = [len(collected[point]) for point in points]
+            series.halted_early = [bool(halted[point]) for point in points]
+        return series
+
+    if sweep.scenarios is None:
+        return [
+            build_series(name, list(sweep.fault_rates), series_index, None)
+            for series_index, name in enumerate(sweep.series_names)
+        ]
+    from repro.experiments.scenarios import scenario_series_name
+
+    return [
+        build_series(
+            scenario_series_name(name, scenario),
+            sweep.scenario_rates(scenario),
+            series_index,
+            scenario_index,
+        )
+        for series_index, name in enumerate(sweep.series_names)
+        for scenario_index, scenario in enumerate(sweep.scenarios)
+    ]
 
 
 class ExperimentEngine:
@@ -154,75 +337,42 @@ class ExperimentEngine:
         ``trials_used`` / ``halted_early`` are populated per point.
         """
         sweep = self._apply_backend(sweep)
+        points = sweep.point_keys()
         if sweep.adaptive:
-            return self._run_adaptive(sweep)
-        specs = sweep.expand()
-        emit = self._make_emitter(sweep, specs) if self.progress is not None else None
-        values = self.executor.run(sweep, specs, emit)
-        return self._assemble(sweep, specs, values)
+            return self._run_adaptive(sweep, points)
+        make_emitter = None
+        if self.progress is not None:
+            make_emitter = lambda specs: self._make_emitter(sweep, specs)  # noqa: E731
+        collected = run_point_block(sweep, points, self.executor, make_emitter)
+        return assemble_series(sweep, collected)
 
-    def _run_adaptive(self, sweep: SweepSpec) -> List[SeriesResult]:
-        """Round loop for confidence-target sweeps.
+    def _run_adaptive(
+        self, sweep: SweepSpec, points: Sequence[PointKey]
+    ) -> List[SeriesResult]:
+        """Confidence-target sweeps: the shared round loop plus progress.
 
-        Each round expands one deterministic block of trial indices for the
-        still-active grid points (via :meth:`SweepSpec.expand_trials`, so the
-        trials carry exactly the coordinate-derived seeds the fixed grid
-        would give them) and runs it through the configured executor
-        *unchanged*.  After the round, every active point recomputes its
-        interval and stops independently once the target half-width is met —
-        or unconditionally at the policy's ``max_trials`` cap.  Because
-        trial values and bootstrap streams depend only on coordinates, the
-        stopping pattern — and therefore the result — is byte-identical
-        across executors, and an unreachable target reproduces the
-        fixed-count ``trials=max_trials`` sweep exactly.
+        Delegates to :func:`run_adaptive_points` over the full grid (see its
+        docstring for the determinism contract) and wires the engine's
+        progress machinery through the loop's emitter hooks.
         """
         policy = sweep.policy
-        points = sweep.point_keys()
-        collected: Dict[Tuple[int, Optional[int], int], List[float]] = {
-            point: [] for point in points
-        }
-        halted: Dict[Tuple[int, Optional[int], int], bool] = {}
-        widths: Dict[Tuple[int, Optional[int], int], float] = {}
-        active = list(points)
         sweep_total = len(points) * policy.max_trials
         done = {"count": 0}
-        round_index = 0
-        while active:
-            start = round_index * policy.batch
-            stop = min(start + policy.batch, policy.max_trials)
-            specs = sweep.expand_trials(start, stop, points=active)
-            emit = None
-            if self.progress is not None:
-                emit = self._make_adaptive_emitter(
+        make_round_emitter = None
+        on_point_status = None
+        if self.progress is not None:
+            def make_round_emitter(specs, collected):
+                return self._make_adaptive_emitter(
                     sweep, specs, collected, done, sweep_total
                 )
-            values = self.executor.run(sweep, specs, emit)
-            for spec, value in zip(specs, values):
-                point = (spec.series_index, spec.scenario_index, spec.rate_index)
-                collected[point].append(float(value))
-            still_active = []
-            for point in active:
-                trial_values = collected[point]
-                series_index, scenario_index, rate_index = point
-                status = policy.assess(
-                    trial_values,
-                    policy.stream_key(
-                        sweep.seed, series_index, scenario_index,
-                        rate_index, len(trial_values),
-                    ),
-                )
-                widths[point] = status.half_width
-                if status.target_met and status.trials_used < policy.max_trials:
-                    halted[point] = True
-                elif status.trials_used >= policy.max_trials:
-                    halted[point] = False
-                else:
-                    still_active.append(point)
-                if self.progress is not None:
-                    self._emit_round_event(sweep, point, status, done, sweep_total)
-            active = still_active
-            round_index += 1
-        return self._assemble_adaptive(sweep, collected, halted)
+
+            def on_point_status(point, status):
+                self._emit_round_event(sweep, point, status, done, sweep_total)
+
+        collected, halted = run_adaptive_points(
+            sweep, points, self.executor, make_round_emitter, on_point_status
+        )
+        return assemble_series(sweep, collected, halted)
 
     def _make_adaptive_emitter(
         self,
@@ -268,17 +418,10 @@ class ExperimentEngine:
         done: Dict[str, int],
         sweep_total: int,
     ) -> None:
-        series_index, scenario_index, rate_index = point
-        name = sweep.series_names[series_index]
-        fault_rate = sweep.fault_rates[rate_index]
-        if scenario_index is not None:
-            scenario = sweep.scenarios[scenario_index]
-            name = f"{name} @ {scenario.name}"
-            fault_rate = scenario.effective_fault_rate(fault_rate)
         self.progress(
             ProgressEvent(
-                series_name=name,
-                fault_rate=fault_rate,
+                series_name=point_label(sweep, point),
+                fault_rate=point_rate(sweep, point),
                 completed=status.trials_used,
                 total=sweep.policy.max_trials,
                 sweep_completed=done["count"],
@@ -286,46 +429,6 @@ class ExperimentEngine:
                 ci_half_width=status.half_width,
             )
         )
-
-    @staticmethod
-    def _assemble_adaptive(
-        sweep: SweepSpec,
-        collected: Mapping[Tuple[int, Optional[int], int], List[float]],
-        halted: Mapping[Tuple[int, Optional[int], int], bool],
-    ) -> List[SeriesResult]:
-        def build_series(
-            name: str, fault_rates: List[float], series_index: int,
-            scenario_index: Optional[int],
-        ) -> SeriesResult:
-            points = [
-                (series_index, scenario_index, rate_index)
-                for rate_index in range(len(sweep.fault_rates))
-            ]
-            return SeriesResult(
-                name=name,
-                fault_rates=fault_rates,
-                values=[list(collected[point]) for point in points],
-                trials_used=[len(collected[point]) for point in points],
-                halted_early=[bool(halted[point]) for point in points],
-            )
-
-        if sweep.scenarios is None:
-            return [
-                build_series(name, list(sweep.fault_rates), series_index, None)
-                for series_index, name in enumerate(sweep.series_names)
-            ]
-        from repro.experiments.scenarios import scenario_series_name
-
-        return [
-            build_series(
-                scenario_series_name(name, scenario),
-                sweep.scenario_rates(scenario),
-                series_index,
-                scenario_index,
-            )
-            for series_index, name in enumerate(sweep.series_names)
-            for scenario_index, scenario in enumerate(sweep.scenarios)
-        ]
 
     def _make_emitter(
         self, sweep: SweepSpec, specs: Sequence[TrialSpec]
@@ -355,37 +458,6 @@ class ExperimentEngine:
             )
 
         return emit
-
-    @staticmethod
-    def _assemble(
-        sweep: SweepSpec, specs: Sequence[TrialSpec], values: Sequence[float]
-    ) -> List[SeriesResult]:
-        if sweep.scenarios is None:
-            results = [
-                SeriesResult(name=name, fault_rates=list(sweep.fault_rates))
-                for name in sweep.series_names
-            ]
-            for series in results:
-                series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
-            for spec, value in zip(specs, values):
-                results[spec.series_index].values[spec.rate_index][spec.trial_index] = float(value)
-            return results
-        from repro.experiments.scenarios import scenario_series_name
-
-        n_scenarios = len(sweep.scenarios)
-        results = []
-        for name in sweep.series_names:
-            for scenario in sweep.scenarios:
-                series = SeriesResult(
-                    name=scenario_series_name(name, scenario),
-                    fault_rates=sweep.scenario_rates(scenario),
-                )
-                series.values = [[None] * sweep.trials for _ in sweep.fault_rates]
-                results.append(series)
-        for spec, value in zip(specs, values):
-            series = results[spec.series_index * n_scenarios + spec.scenario_index]
-            series.values[spec.rate_index][spec.trial_index] = float(value)
-        return results
 
     # ------------------------------------------------------------------ #
     # Cached figure reproduction

@@ -40,6 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.kernels import (
@@ -111,8 +112,14 @@ class SerialExecutor(Executor):
 # picklable, so the plan is handed to workers through fork inheritance: the
 # parent publishes the active (sweep, specs) pair in this module-level slot
 # immediately before forking the pool, and workers receive only spec indices
-# over the task queue.
+# over the task queue.  The slot holds exactly one plan, so concurrent
+# ``run`` calls from different threads (e.g. campaign shards dispatched by a
+# thread pool, each configured with a process executor) serialize on the
+# lock rather than corrupting each other's plan.
 _ACTIVE_PLAN: Optional[Tuple[SweepSpec, Sequence[TrialSpec]]] = None
+# RLock, not Lock: a same-thread reentrant call (a trial function invoking
+# the executor) must reach the populated-slot check and raise, not deadlock.
+_ACTIVE_PLAN_LOCK = threading.RLock()
 
 
 def _run_indexed_trial(index: int) -> Tuple[int, float]:
@@ -175,20 +182,27 @@ class ProcessExecutor(Executor):
             chunksize = max(1, len(specs) // (workers * 4))
         values: List[Optional[float]] = [None] * len(specs)
         context = multiprocessing.get_context("fork")
-        if _ACTIVE_PLAN is not None:
-            raise RuntimeError("ProcessExecutor is not reentrant within one process")
-        _ACTIVE_PLAN = (sweep, specs)
-        try:
-            with context.Pool(processes=workers) as pool:
-                iterator = pool.imap_unordered(
-                    _run_indexed_trial, range(len(specs)), chunksize=chunksize
+        with _ACTIVE_PLAN_LOCK:
+            if _ACTIVE_PLAN is not None:
+                # The lock serializes cross-thread runs; reaching a populated
+                # slot while holding it means same-thread reentrancy (a trial
+                # or emit callback invoking the executor), which fork
+                # inheritance cannot support.
+                raise RuntimeError(
+                    "ProcessExecutor is not reentrant within one thread"
                 )
-                for index, value in iterator:
-                    values[index] = value
-                    if emit is not None:
-                        emit(index, value)
-        finally:
-            _ACTIVE_PLAN = None
+            _ACTIVE_PLAN = (sweep, specs)
+            try:
+                with context.Pool(processes=workers) as pool:
+                    iterator = pool.imap_unordered(
+                        _run_indexed_trial, range(len(specs)), chunksize=chunksize
+                    )
+                    for index, value in iterator:
+                        values[index] = value
+                        if emit is not None:
+                            emit(index, value)
+            finally:
+                _ACTIVE_PLAN = None
         return values  # type: ignore[return-value]
 
 

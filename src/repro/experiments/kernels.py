@@ -853,6 +853,27 @@ class KernelSpec:
             notes=notes,
         )
 
+    def sweep_functions(
+        self, seed: int = WORKLOAD_SEED, **factory_kwargs: Any
+    ) -> Dict[str, TrialFunction]:
+        """Build this kernel's series label → trial-function mapping.
+
+        Resolves the registered trial factory with the kernel's own series
+        line-up (when one is registered) and the given workload parameters.
+        This is the single entry point callers outside the figure layer —
+        ``scripts/run_campaign.py``, ad-hoc scenario studies — use to turn a
+        registry name into sweep-ready trial functions.  Only sweep-shaped
+        kernels have one; others raise ``ValueError``.
+        """
+        if not self.sweep or self.trial_factory is None:
+            raise ValueError(
+                f"kernel {self.name!r} is not sweep-shaped; "
+                "it has no trial factory to build sweep functions from"
+            )
+        if self.series is not None and "series" not in factory_kwargs:
+            factory_kwargs = dict(factory_kwargs, series=dict(self.series))
+        return self.trial_factory(seed=seed, **factory_kwargs)
+
     def build_scenario_study(
         self,
         scenarios,
@@ -887,18 +908,11 @@ class KernelSpec:
         (series, scenario, rate) point only until its interval meets the
         target, which is the engine's sequential-sampling mode.
         """
-        if not self.sweep or self.trial_factory is None:
-            raise ValueError(
-                f"kernel {self.name!r} is not sweep-shaped; "
-                "scenario studies need a trial factory"
-            )
         from repro.experiments.runner import run_scenario_grid
         from repro.experiments.scenarios import get_scenario, scenario_series_name
 
         resolved = [get_scenario(scenario) for scenario in scenarios]
-        if self.series is not None and "series" not in factory_kwargs:
-            factory_kwargs = dict(factory_kwargs, series=dict(self.series))
-        functions = self.trial_factory(seed=seed, **factory_kwargs)
+        functions = self.sweep_functions(seed=seed, **factory_kwargs)
         unpinned = [scenario for scenario in resolved if not scenario.pinned]
         pinned = [scenario for scenario in resolved if scenario.pinned]
         sub_series: Dict[str, SeriesResult] = {}

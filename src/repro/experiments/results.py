@@ -9,14 +9,16 @@ experiment engine can cache completed figures on disk.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.metrics.statistics import TrialSummary, summarize
 
-__all__ = ["SeriesResult", "FigureResult"]
+__all__ = ["SeriesResult", "FigureResult", "series_digest"]
 
 
 @dataclass
@@ -86,6 +88,23 @@ class SeriesResult:
                 None if halted_early is None else [bool(f) for f in halted_early]
             ),
         )
+
+
+def series_digest(series: Sequence["SeriesResult"]) -> str:
+    """SHA-256 over the canonical serialized form of a series list.
+
+    The digest covers exactly what the result cache would persist
+    (:meth:`SeriesResult.to_dict` of every series, in order), canonicalized
+    with the same strict JSON rules as the cache key hash — so two runs have
+    equal digests if and only if their cached payloads would be
+    byte-identical.  This is the campaign layer's bit-identity check:
+    a sharded-merge run must digest equal to the single-process serial run.
+    """
+    payload = [entry.to_dict() for entry in series]
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass

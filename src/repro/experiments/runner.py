@@ -20,7 +20,8 @@ instead of hand-written one-off loops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.results import FigureResult, SeriesResult
@@ -35,6 +36,7 @@ __all__ = [
     "FigureResult",
     "run_fault_rate_sweep",
     "run_scenario_grid",
+    "run_campaign",
 ]
 
 
@@ -140,3 +142,54 @@ def run_scenario_grid(
         backend=backend,
     )
     return _resolve_engine(engine).run_sweep(sweep)
+
+
+def run_campaign(
+    trial_functions: Dict[str, TrialFunction],
+    store: Union[str, Path],
+    scenarios: Optional[Sequence[Union[str, Scenario]]] = None,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    trials: int = 5,
+    seed: int = 0,
+    fault_model: str = "leon3-fpu",
+    policy: Optional[BudgetPolicy] = None,
+    backend: Optional[str] = None,
+    key: Optional[Mapping[str, Any]] = None,
+    pool: str = "thread",
+    workers: Optional[int] = None,
+    executor: str = "auto",
+    granularity: str = "series",
+    progress=None,
+) -> List[SeriesResult]:
+    """Run a sweep as a sharded, resumable campaign against ``store``.
+
+    The campaign twin of :func:`run_fault_rate_sweep` /
+    :func:`run_scenario_grid`: the same grid, split into content-addressed
+    shards executed by a ``pool`` of ``workers`` (see
+    :mod:`repro.experiments.campaign`), merged bit-identically to the serial
+    path.  Shards already present in ``store`` — from a killed earlier run,
+    or from another campaign over the same workload — are reused, not
+    recomputed.  ``key`` must carry the workload parameters the sweep
+    fingerprint cannot see (closures' problem sizes, iteration budgets).
+    """
+    from repro.experiments.campaign import CampaignRunner, ShardPlanner
+
+    sweep = SweepSpec(
+        trial_functions=dict(trial_functions),
+        fault_rates=tuple(fault_rates),
+        trials=trials,
+        seed=seed,
+        fault_model=fault_model,
+        scenarios=None if scenarios is None else tuple(scenarios),
+        policy=policy,
+        backend=backend,
+    )
+    runner = CampaignRunner(
+        store=store,
+        planner=ShardPlanner(granularity=granularity),
+        pool=pool,
+        workers=workers,
+        executor=executor,
+        progress=progress,
+    )
+    return runner.submit(sweep, key=key).run()

@@ -201,6 +201,30 @@ class SweepSpec:
             for rate_index in range(len(self.fault_rates))
         ]
 
+    def point_groups(self, granularity: str = "series") -> List[Tuple[PointKey, ...]]:
+        """Partition the grid points into shard-sized groups, in plan order.
+
+        ``granularity="series"`` groups by (series, scenario) — the same
+        grouping the ``vectorized`` executor batches by, so a shard keeps
+        the whole tensorized fast path.  ``granularity="cell"`` groups by
+        (series, scenario, rate) — the ``batched`` tier's finer cells, for
+        wider fan-out at the cost of one tensor call per rate.  Every grid
+        point appears in exactly one group.
+        """
+        if granularity not in ("series", "cell"):
+            raise ValueError(
+                f"granularity must be 'series' or 'cell', got {granularity!r}"
+            )
+        groups: Dict[Tuple, List[PointKey]] = {}
+        for point in self.point_keys():
+            series_index, scenario_index, rate_index = point
+            if granularity == "series":
+                group_key = (series_index, scenario_index)
+            else:
+                group_key = (series_index, scenario_index, rate_index)
+            groups.setdefault(group_key, []).append(point)
+        return [tuple(points) for points in groups.values()]
+
     def __len__(self) -> int:
         n_scenarios = len(self.scenarios) if self.scenarios is not None else 1
         return (

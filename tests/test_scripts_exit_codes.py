@@ -1,12 +1,15 @@
 """Exit-code contracts of the CI gate scripts.
 
-CI trusts two scripts to turn red at the right moment:
-``scripts/smoke_scenario_grid.py`` (executor bit-identity) and
-``scripts/check_bench_regression.py`` (perf trajectory).  These tests pin
-the contract — a regression or mismatch yields a nonzero exit that *names
-the offending kernel/executor*, a clean run yields zero — by driving the
-scripts' ``main()`` directly (tiny grids for the real path, monkeypatched
-sweeps and scratch histories for the failure injections).
+CI trusts these scripts to turn red at the right moment:
+``scripts/smoke_scenario_grid.py`` (executor bit-identity),
+``scripts/check_bench_regression.py`` (perf trajectory),
+``scripts/run_campaign.py`` (sharded campaigns: bit-identity, kill+resume),
+and ``scripts/prune_cache.py`` (store retention).  These tests pin the
+contract — a regression or mismatch yields a nonzero exit that *names the
+offense*, a clean run yields zero, deliberate campaign aborts yield the
+distinct code 3 — by driving the scripts' ``main()`` directly (tiny grids
+for the real path, monkeypatched sweeps and scratch histories for the
+failure injections).
 """
 
 import importlib.util
@@ -236,3 +239,124 @@ class TestCheckBenchRegression:
         bh.append_record(tmp_path, record)
         code = gate.main(["--history-dir", str(tmp_path), "--no-registry-check"])
         assert code == 0
+
+
+@pytest.fixture(scope="module")
+def campaign_cli():
+    return load_script("run_campaign")
+
+
+def campaign_args(tmp_path, *extra):
+    return [
+        "--kernel", "sorting", "--iterations", "40",
+        "--rates", "0.05", "--trials", "1", "--seed", "11",
+        "--pool", "serial", "--store", str(tmp_path / "store"), *extra,
+    ]
+
+
+class TestRunCampaign:
+    def test_tiny_campaign_bit_identical_to_serial(self, campaign_cli, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        code = campaign_cli.main(
+            campaign_args(
+                tmp_path, "--verify-serial", "--summary", str(summary_path)
+            )
+        )
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["bit_identical_to_serial"] is True
+        assert summary["shards_computed"] == summary["shards_total"]
+
+    def test_kill_then_resume_recomputes_only_missing(self, campaign_cli, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        # Leg 1: deliberate mid-campaign abort — distinct exit code 3,
+        # summary records the resumable state.
+        code = campaign_cli.main(
+            campaign_args(
+                tmp_path, "--fail-after", "1", "--summary", str(summary_path)
+            )
+        )
+        assert code == 3
+        aborted = json.loads(summary_path.read_text())
+        assert aborted["shards_completed"] == 1
+        assert aborted["shards_pending"] == aborted["shards_total"] - 1
+        # Leg 2: --resume reruns only the unfinished shards.
+        code = campaign_cli.main(
+            campaign_args(
+                tmp_path,
+                "--resume", aborted["campaign_id"],
+                "--verify-serial", "--summary", str(summary_path),
+            )
+        )
+        assert code == 0
+        resumed = json.loads(summary_path.read_text())
+        assert resumed["campaign_id"] == aborted["campaign_id"]
+        assert resumed["shards_reused"] == 1
+        assert (
+            resumed["shards_computed"]
+            == resumed["shards_total"] - resumed["shards_reused"]
+        )
+        assert resumed["bit_identical_to_serial"] is True
+
+    def test_resume_id_mismatch_is_usage_error(self, campaign_cli, tmp_path, capsys):
+        code = campaign_cli.main(
+            campaign_args(tmp_path, "--resume", "feedfacefeedface")
+        )
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_status_of_unknown_campaign_is_usage_error(self, campaign_cli, tmp_path):
+        code = campaign_cli.main(
+            ["--store", str(tmp_path / "store"), "--status", "feedfacefeedface"]
+        )
+        assert code == 2
+
+    def test_status_after_run_reports_done(self, campaign_cli, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        assert campaign_cli.main(
+            campaign_args(tmp_path, "--summary", str(summary_path))
+        ) == 0
+        campaign_id = json.loads(summary_path.read_text())["campaign_id"]
+        capsys.readouterr()
+        code = campaign_cli.main(
+            ["--store", str(tmp_path / "store"), "--status", campaign_id]
+        )
+        assert code == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["done"] is True
+
+    def test_unknown_kernel_is_usage_error(self, campaign_cli, tmp_path, capsys):
+        code = campaign_cli.main(
+            ["--kernel", "no-such-kernel", "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "sorting" in capsys.readouterr().err  # lists the sweep kernels
+
+
+@pytest.fixture(scope="module")
+def prune_cli():
+    return load_script("prune_cache")
+
+
+class TestPruneCache:
+    def test_no_criterion_is_usage_error(self, prune_cli, tmp_path, capsys):
+        assert prune_cli.main([str(tmp_path)]) == 2
+        assert "--max-age" in capsys.readouterr().err
+
+    def test_age_and_size_suffixes_parse(self, prune_cli):
+        assert prune_cli.parse_age("90") == 90.0
+        assert prune_cli.parse_age("30m") == 1800.0
+        assert prune_cli.parse_age("7d") == 7 * 86400.0
+        assert prune_cli.parse_bytes("512k") == 512 * 1024
+        assert prune_cli.parse_bytes("2g") == 2 * 1024**3
+        with pytest.raises(Exception):
+            prune_cli.parse_age("soon")
+
+    def test_dry_run_reports_without_deleting(self, prune_cli, tmp_path, capsys):
+        artifact = tmp_path / "entry.json"
+        artifact.write_text("{}")
+        assert prune_cli.main([str(tmp_path), "--max-bytes", "0", "--dry-run"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert artifact.exists()
+        assert prune_cli.main([str(tmp_path), "--max-bytes", "0"]) == 0
+        assert not artifact.exists()
