@@ -66,6 +66,21 @@ half-width becomes the adaptive run's target, so both runs guarantee the
 same interval width while the adaptive one stops converged points early.
 ``BENCH_adaptive.json`` records both wall times, the speedup, the trial
 counts, and a bit-identity verdict across the batched executor tiers.
+
+The pseudo-kernel name ``search`` benchmarks the search-driver layer
+(``repro.experiments.search``): a critical-voltage bisection on the sorting
+kernel against the dense voltage grid it replaces, at matched resolution and
+on *separate* scratch stores so the grid cost is honest.  ``BENCH_search
+.json`` records both wall times, probe and trial counts with their ratio,
+both crossing estimates and whether they agree within tolerance, a
+memoized-rerun leg that must recompute zero probes, and the
+workload-construction memo saving (first build vs memoized rebuild).
+
+The full pseudo-kernel list lives in one place —
+``repro.experiments.benchhistory.PSEUDO_KERNELS`` — and this script's
+``--only`` handling plus ``scripts/check_bench_regression.py``'s registry
+check both derive from it, so adding a pseudo-kernel there automatically
+routes it through the bench gate.
 """
 
 from __future__ import annotations
@@ -85,6 +100,7 @@ from repro.experiments import benchhistory, kernels
 from repro.experiments.campaign import CampaignRunner, ShardPlanner
 from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import run_scenario_grid
+from repro.experiments.search import CriticalVoltageBisector, ProbeRunner
 from repro.experiments.sequential import ConfidenceTarget, wilson_half_width
 from repro.experiments.spec import SweepSpec
 
@@ -512,19 +528,141 @@ def bench_adaptive(args, backend) -> dict:
     }
 
 
+#: Voltage tolerance of the BENCH_search bisection: the dense comparison grid
+#: at matched resolution has ~(range / tolerance) points, so this choice sets
+#: the trial ratio the record demonstrates (~91 grid points vs ≤ 9 probes).
+SEARCH_TOLERANCE = 0.005
+
+
+def bench_search(args, backend) -> dict:
+    """Time critical-voltage bisection against the dense grid it replaces.
+
+    A sorting-kernel bisection runs to :data:`SEARCH_TOLERANCE` on a scratch
+    store; the dense voltage grid at the same resolution then runs through
+    the *same* probe layer on a **separate** scratch store, so its cost is
+    what a grid-only workflow would actually pay (no cross-leg memo hits).
+    A second bisection against the first store replays the resume path,
+    which must reuse every probe (``computed == 0``) and reproduce the same
+    crossing.  The workload-construction memo (satellite of the same PR) is
+    measured by timing the kernel's first ``sweep_functions`` build against
+    the memoized rebuild.
+    """
+    warmup_seconds = warm_up_grid(backend)
+    iterations = max(int(10000 * args.scale), 500)
+    spec = kernels.get_kernel("sorting")
+
+    kernels.clear_workload_memo()
+    start = time.perf_counter()
+    functions = spec.sweep_functions(
+        iterations=iterations, series={"Base": None}
+    )
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    functions = spec.sweep_functions(
+        iterations=iterations, series={"Base": None}
+    )
+    memo_seconds = time.perf_counter() - start
+    memo_stats = kernels.workload_memo_stats()
+
+    driver = CriticalVoltageBisector(tolerance=SEARCH_TOLERANCE)
+    key = {"bench": "search", "iterations": iterations}
+
+    def make_runner(store: str) -> ProbeRunner:
+        return ProbeRunner(
+            store, functions["Base"], "Base",
+            trials=args.trials, seed=kernels.WORKLOAD_SEED, key=key,
+            executor="vectorized",
+        )
+
+    search_store = tempfile.mkdtemp(prefix="bench-search-")
+    grid_store = tempfile.mkdtemp(prefix="bench-search-grid-")
+    try:
+        runner = make_runner(search_store)
+        start = time.perf_counter()
+        result = driver.run(runner)
+        search_seconds = time.perf_counter() - start
+        trials_search = runner.stats["trials_executed"]
+
+        grid_runner = make_runner(grid_store)
+        start = time.perf_counter()
+        verdict = driver.verify_against_grid(grid_runner, result)
+        grid_seconds = time.perf_counter() - start
+        trials_grid = grid_runner.stats["trials_executed"]
+
+        resumed = make_runner(search_store)
+        start = time.perf_counter()
+        resumed_result = driver.run(resumed)
+        resume_seconds = time.perf_counter() - start
+        resume_clean = (
+            resumed.stats["computed"] == 0
+            and resumed.stats["reused"] == runner.stats["probes"]
+            and resumed_result.critical_voltage == result.critical_voltage
+        )
+    finally:
+        shutil.rmtree(search_store, ignore_errors=True)
+        shutil.rmtree(grid_store, ignore_errors=True)
+
+    agreement = verdict["within_tolerance"]
+    return {
+        "kernel": "search",
+        "figure": "run_search",
+        "figure_id": "Search (critical-voltage bisection vs dense grid)",
+        "params": {
+            "series": ["Base"],
+            "trials": args.trials,
+            "iterations": iterations,
+            "tolerance": SEARCH_TOLERANCE,
+            "driver": "bisect",
+        },
+        "sweep": True,
+        "batched": True,
+        "commit": commit_hash(),
+        "generated_by": "scripts/bench_all.py",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        **backend_fields(backend, warmup_seconds),
+        "wall_seconds": round(search_seconds, 4),
+        "serial_seconds": round(grid_seconds, 4),
+        "speedup_vs_serial": round(grid_seconds / max(search_seconds, 1e-9), 3),
+        "probes": runner.stats["probes"],
+        "grid_points": verdict["grid_points"],
+        "trials_search": trials_search,
+        "trials_grid": trials_grid,
+        "trial_ratio": round(trials_grid / max(trials_search, 1), 3),
+        "critical_voltage": round(result.critical_voltage, 6),
+        "grid_critical_voltage": round(verdict["grid_critical_voltage"], 6),
+        "tolerance": SEARCH_TOLERANCE,
+        "grid_agreement": agreement,
+        "resume_seconds": round(resume_seconds, 4),
+        "resume_probes_computed": resumed.stats["computed"],
+        "resume_probes_reused": resumed.stats["reused"],
+        "workload_build_seconds": round(build_seconds, 4),
+        "workload_memo_seconds": round(memo_seconds, 4),
+        "workload_memo_hits": memo_stats["hits"],
+        "workload_memo_misses": memo_stats["misses"],
+        "bit_identical_to_serial": bool(agreement and resume_clean),
+    }
+
+
 def main() -> int:
     args = build_parser().parse_args()
     try:
         backend = resolve_backend(args.backend)
     except ValueError as error:
         raise SystemExit(str(error))
-    grid_requested = args.only is None or "scenario_grid" in args.only
-    adaptive_requested = args.only is None or "adaptive" in args.only
-    campaign_requested = args.only is None or "campaign" in args.only
+    # Pseudo-kernel selection derives from the shared registry constant so a
+    # new pseudo-kernel cannot be silently dropped from --only handling.
+    requested = {
+        name: args.only is None or name in args.only
+        for name in benchhistory.PSEUDO_KERNELS
+    }
+    grid_requested = requested["scenario_grid"]
+    adaptive_requested = requested["adaptive"]
+    campaign_requested = requested["campaign"]
+    search_requested = requested["search"]
     if args.only:
         names = [
             name for name in args.only
-            if name not in ("scenario_grid", "adaptive", "campaign")
+            if name not in benchhistory.PSEUDO_KERNELS
         ]
         try:
             specs = [kernels.get_kernel(name) for name in names]
@@ -602,6 +740,25 @@ def main() -> int:
             )
             if mismatched(record):
                 failures.append("adaptive")
+        if search_requested:
+            print("[bench_all] search (bisection vs dense grid) ...", flush=True)
+            record = bench_search(args, backend)
+            path = bench_path(args.output_dir, "search", backend)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            record_history(record)
+            verdict = "ok" if record["bit_identical_to_serial"] else "MISMATCH"
+            print(
+                f"  grid {record['serial_seconds']:.2f}s "
+                f"({record['grid_points']} points, {record['trials_grid']} "
+                f"trials), bisection {record['wall_seconds']:.2f}s "
+                f"({record['probes']} probes, {record['trials_search']} "
+                f"trials, x{record['trial_ratio']:.1f} fewer), resume "
+                f"{record['resume_seconds']:.2f}s "
+                f"({record['resume_probes_computed']} recomputed), "
+                f"agreement+determinism {verdict}"
+            )
+            if mismatched(record):
+                failures.append("search")
         for spec in specs:
             print(f"[bench_all] {spec.name} ({spec.figure_id}) ...", flush=True)
             record = bench_kernel(spec, args, backend)

@@ -43,8 +43,9 @@ from repro.experiments import benchhistory
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
 
-#: Pseudo-kernels benchmarked by scripts/bench_all.py outside the registry.
-EXTRA_KERNELS = ("scenario_grid", "adaptive", "campaign")
+#: Pseudo-kernels benchmarked by scripts/bench_all.py outside the registry —
+#: one source of truth, shared with bench_all.py's --only handling.
+EXTRA_KERNELS = benchhistory.PSEUDO_KERNELS
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -17,6 +17,13 @@ oldest go next (mtime order, path tie-break).  Orphaned ``*.tmp`` files from
 crashed writers are collected too.  Every artifact is standalone, so
 removal can only ever cost recomputation, never correctness.
 
+Campaign and search **manifests** (``campaigns/``, ``searches/``) are kept
+by default: they are tiny, and they are what lets ``run_campaign.py
+--status`` / ``run_search.py --status`` report pruned shards as *pending*
+(recomputable) instead of forgetting the run ever existed.  Pass
+``--prune-manifests`` to reclaim them too, accepting that status queries
+for those ids will answer "unknown" afterwards.
+
 Exit codes: 0 success (including nothing to remove); 2 usage errors.
 """
 
@@ -81,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SIZE",
                         help="then remove oldest artifacts until each "
                         "directory fits SIZE (bytes, or 512k / 50m / 2g)")
+    parser.add_argument("--prune-manifests", action="store_true",
+                        help="also remove campaign/search manifests (by "
+                        "default they survive so --status can report pruned "
+                        "shards as pending)")
     parser.add_argument("--dry-run", action="store_true",
                         help="report what would be removed without deleting")
     parser.add_argument("--verbose", action="store_true",
@@ -101,6 +112,7 @@ def main(argv=None) -> int:
             max_age_seconds=args.max_age,
             max_bytes=args.max_bytes,
             dry_run=args.dry_run,
+            keep_manifests=not args.prune_manifests,
         )
         print(f"[prune] {directory}: examined {report.examined}, {verb} "
               f"{report.removed_count} ({report.freed_bytes} bytes), kept "

@@ -53,6 +53,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "BASELINES_FILENAME",
     "TOMBSTONES_FILENAME",
+    "PSEUDO_KERNELS",
     "machine_fingerprint",
     "validate_record",
     "history_record_from_bench",
@@ -80,6 +81,15 @@ SCHEMA_VERSION = 1
 
 BASELINES_FILENAME = "BASELINES.json"
 TOMBSTONES_FILENAME = "TOMBSTONES"
+
+#: Benchmark-only "kernels" that are not in the application-kernel registry:
+#: whole-subsystem benchmarks (``scenario_grid``, the ``adaptive`` budget
+#: twin, ``campaign`` sharding, ``search`` drivers) that still keep history
+#: files and ride the regression gate.  This is the single source of truth —
+#: ``scripts/bench_all.py`` derives its ``--only`` handling from it and
+#: ``scripts/check_bench_regression.py`` its registry check, so a new
+#: pseudo-kernel added here cannot silently miss the gate.
+PSEUDO_KERNELS = ("scenario_grid", "adaptive", "campaign", "search")
 
 #: Required record fields and their accepted types.  ``None``-able numeric
 #: fields (``serial_seconds`` etc.) are validated separately below.
@@ -206,6 +216,25 @@ def history_record_from_bench(
         "trials_fixed",
         "trials_adaptive",
         "target_half_width",
+        # Search-driver records (the "search" pseudo-kernel): bisection vs
+        # dense-grid probe/trial counts and the agreement verdict, plus the
+        # memoized-rerun proof and the workload-memo saving — see
+        # docs/search.md.
+        "probes",
+        "grid_points",
+        "trials_search",
+        "trials_grid",
+        "trial_ratio",
+        "critical_voltage",
+        "grid_critical_voltage",
+        "tolerance",
+        "grid_agreement",
+        "resume_probes_computed",
+        "resume_probes_reused",
+        "workload_memo_hits",
+        "workload_memo_misses",
+        "workload_build_seconds",
+        "workload_memo_seconds",
     ):
         if bench.get(extra) is not None:
             record[extra] = bench[extra]

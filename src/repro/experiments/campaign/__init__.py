@@ -41,6 +41,7 @@ from repro.experiments.campaign.scheduler import (
     list_pools,
 )
 from repro.experiments.campaign.store import (
+    MANIFEST_DIR_NAMES,
     STORE_SCHEMA_VERSION,
     PruneReport,
     ShardResult,
@@ -64,6 +65,7 @@ __all__ = [
     "execute_shard",
     "list_pools",
     "STORE_SCHEMA_VERSION",
+    "MANIFEST_DIR_NAMES",
     "PruneReport",
     "ShardResult",
     "ShardStore",

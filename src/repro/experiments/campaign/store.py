@@ -17,9 +17,19 @@ per-shard partial results.  Layout under the store directory:
     configuration, and the ordered shard id list — everything ``--status``
     and ``--resume`` need to account for a campaign without re-expanding it.
 
-Both artifact kinds are standalone JSON files, safe to delete individually
-or wholesale; :func:`prune_artifacts` is the garbage-collection primitive
-behind ``scripts/prune_cache.py``.
+``searches/<search_id>.json``
+    One search manifest (see :mod:`repro.experiments.search`): the driver
+    configuration and the ordered probe shard ids the search has issued so
+    far, updated as probes land so ``run_search.py --status`` can account
+    for an interrupted search.
+
+Shard artifacts are standalone JSON files, safe to delete individually or
+wholesale — removal only ever costs recomputation; :func:`prune_artifacts`
+is the garbage-collection primitive behind ``scripts/prune_cache.py``.
+Manifests are different: they are the *accounting* for artifacts, so by
+default pruning keeps them even when it removes every shard they reference —
+``--status`` on a pruned store then truthfully reports those shards as
+pending (recomputable) instead of forgetting the campaign ever existed.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.experiments.spec import PointKey
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "MANIFEST_DIR_NAMES",
     "ShardResult",
     "ShardStore",
     "PruneReport",
@@ -108,11 +119,18 @@ class ShardStore:
     def campaigns_dir(self) -> Path:
         return self.directory / "campaigns"
 
+    @property
+    def searches_dir(self) -> Path:
+        return self.directory / "searches"
+
     def shard_path(self, shard_id: str) -> Path:
         return self.shards_dir / f"{shard_id}.json"
 
     def manifest_path(self, campaign_id: str) -> Path:
         return self.campaigns_dir / f"{campaign_id}.json"
+
+    def search_path(self, search_id: str) -> Path:
+        return self.searches_dir / f"{search_id}.json"
 
     # ------------------------------------------------------------------ #
     # Shard artifacts
@@ -194,6 +212,26 @@ class ShardStore:
         return entry
 
     # ------------------------------------------------------------------ #
+    # Search manifests
+    # ------------------------------------------------------------------ #
+    def store_search(self, search_id: str, manifest: Mapping[str, Any]) -> Path:
+        """Publish a search manifest (same atomic discipline as campaigns)."""
+        entry = dict(manifest, schema=STORE_SCHEMA_VERSION, search=search_id)
+        return atomic_write_json(self.search_path(search_id), entry)
+
+    def load_search(self, search_id: str) -> Optional[Dict[str, Any]]:
+        """A search manifest by id, or ``None`` (unreadable entries miss)."""
+        try:
+            entry = json.loads(self.search_path(search_id).read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        if entry.get("search") != search_id:
+            return None
+        return entry
+
+    # ------------------------------------------------------------------ #
     # Garbage collection
     # ------------------------------------------------------------------ #
     def prune(
@@ -202,6 +240,7 @@ class ShardStore:
         max_bytes: Optional[int] = None,
         now: Optional[float] = None,
         dry_run: bool = False,
+        keep_manifests: bool = True,
     ) -> "PruneReport":
         """Garbage-collect this store (see :func:`prune_artifacts`)."""
         return prune_artifacts(
@@ -210,6 +249,7 @@ class ShardStore:
             max_bytes=max_bytes,
             now=now,
             dry_run=dry_run,
+            keep_manifests=keep_manifests,
         )
 
 
@@ -228,12 +268,19 @@ class PruneReport:
         return len(self.removed)
 
 
+#: Directory names whose ``*.json`` entries are manifests — accounting for
+#: shard artifacts, not artifacts themselves.  Pruning keeps them by default
+#: so a GC'd store still reports its campaigns/searches as pending.
+MANIFEST_DIR_NAMES = ("campaigns", "searches")
+
+
 def prune_artifacts(
     directory: Union[str, Path],
     max_age_seconds: Optional[float] = None,
     max_bytes: Optional[int] = None,
     now: Optional[float] = None,
     dry_run: bool = False,
+    keep_manifests: bool = True,
 ) -> PruneReport:
     """Garbage-collect an artifact directory by age and/or total size.
 
@@ -245,6 +292,14 @@ def prune_artifacts(
     exceed ``max_bytes``, the oldest are removed until the total fits
     (oldest-first by mtime, path as the deterministic tie-break).  Every
     artifact is standalone, so removal can only ever cost recomputation.
+
+    ``keep_manifests`` (the default) exempts campaign/search manifests
+    (entries under a :data:`MANIFEST_DIR_NAMES` directory) from removal and
+    from the ``max_bytes`` accounting: a prune may GC shards a manifest
+    still references, and ``--status`` must then report those shards as
+    pending rather than forget the campaign ever existed (or, worse, claim
+    it complete).  Pass ``False`` to reclaim manifest files too, e.g. when
+    retiring a store wholesale.
 
     ``dry_run`` reports what would be removed without touching the disk.
     At least one criterion must be given.
@@ -261,6 +316,12 @@ def prune_artifacts(
     for pattern in ("*.json", "*.tmp"):
         for path in root.rglob(pattern):
             if not path.is_file():
+                continue
+            if (
+                keep_manifests
+                and path.suffix == ".json"
+                and path.parent.name in MANIFEST_DIR_NAMES
+            ):
                 continue
             try:
                 stat = path.stat()

@@ -100,6 +100,8 @@ from repro.workloads.signals import random_stable_iir, sum_of_sinusoids
 
 __all__ = [
     "WORKLOAD_SEED",
+    "workload_memo_stats",
+    "clear_workload_memo",
     "batchable",
     "batch_implementation",
     "is_batchable",
@@ -126,6 +128,31 @@ __all__ = [
 
 #: Workload seed shared by every figure so results are reproducible.
 WORKLOAD_SEED = 2010
+
+# ---------------------------------------------------------------------------
+# Workload-construction memo
+# ---------------------------------------------------------------------------
+# Building a kernel's trial functions regenerates its workload (matrices,
+# graphs, signals) from the workload seed — pure but not free.  Search
+# drivers and repeated probes resolve the same (kernel, seed, factory
+# parameters) many times per process, so ``KernelSpec.sweep_functions``
+# memoizes per process.  Safe because trial functions are deterministic
+# closures over immutable workload data keyed by grid coordinates; callers
+# get a fresh dict each time so mutating the mapping cannot poison the memo.
+_WORKLOAD_MEMO: Dict[Any, Dict[str, "TrialFunction"]] = {}
+_WORKLOAD_MEMO_STATS = {"hits": 0, "misses": 0}
+
+
+def workload_memo_stats() -> Dict[str, int]:
+    """Per-process hit/miss counters of the workload-construction memo."""
+    return dict(_WORKLOAD_MEMO_STATS)
+
+
+def clear_workload_memo() -> None:
+    """Drop memoized workloads and reset the counters (tests, benchmarks)."""
+    _WORKLOAD_MEMO.clear()
+    _WORKLOAD_MEMO_STATS["hits"] = 0
+    _WORKLOAD_MEMO_STATS["misses"] = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -864,6 +891,11 @@ class KernelSpec:
         ``scripts/run_campaign.py``, ad-hoc scenario studies — use to turn a
         registry name into sweep-ready trial functions.  Only sweep-shaped
         kernels have one; others raise ``ValueError``.
+
+        Construction is memoized per process on (kernel, seed, factory
+        parameters) — see :func:`workload_memo_stats` — because workload
+        generation is deterministic and search drivers resolve the same
+        workload for every probe.
         """
         if not self.sweep or self.trial_factory is None:
             raise ValueError(
@@ -872,7 +904,19 @@ class KernelSpec:
             )
         if self.series is not None and "series" not in factory_kwargs:
             factory_kwargs = dict(factory_kwargs, series=dict(self.series))
-        return self.trial_factory(seed=seed, **factory_kwargs)
+        memo_key = (
+            self.name,
+            int(seed),
+            tuple(sorted((k, repr(v)) for k, v in factory_kwargs.items())),
+        )
+        cached = _WORKLOAD_MEMO.get(memo_key)
+        if cached is not None:
+            _WORKLOAD_MEMO_STATS["hits"] += 1
+            return dict(cached)
+        _WORKLOAD_MEMO_STATS["misses"] += 1
+        functions = self.trial_factory(seed=seed, **factory_kwargs)
+        _WORKLOAD_MEMO[memo_key] = dict(functions)
+        return functions
 
     def build_scenario_study(
         self,

@@ -1,19 +1,29 @@
-"""Text reporting of reproduced figures.
+"""Text reporting of reproduced figures and search results.
 
 The paper's figures are line charts over fault rate; in a headless library
 the equivalent artefact is a table with one row per fault rate and one column
 per series, which :func:`format_figure` renders and the benchmark harness
-prints / saves.
+prints / saves.  Search summaries (``scripts/run_search.py``) get the same
+treatment: :func:`format_search_report` renders a driver-appropriate table —
+per-series critical voltage ± tolerance, Pareto frontier points, or the
+recipe ranking — from the CLI's machine-readable JSON summary.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import Any, List, Mapping, Union
 
 from repro.experiments.results import FigureResult
 
-__all__ = ["figure_to_rows", "format_figure", "save_figure_report"]
+__all__ = [
+    "figure_to_rows",
+    "format_figure",
+    "save_figure_report",
+    "search_to_rows",
+    "format_search_report",
+    "save_search_report",
+]
 
 
 def _format_value(value: float) -> str:
@@ -75,4 +85,99 @@ def save_figure_report(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(format_figure(figure, use_success_rate=use_success_rate) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Search reports (scripts/run_search.py summaries)
+# --------------------------------------------------------------------------- #
+def _bisect_rows(results: List[Mapping[str, Any]]) -> List[List[str]]:
+    rows = [["series", "status", "critical V", "± tol", "probes", "trials"]]
+    for entry in results:
+        probes = entry.get("probes") or []
+        rows.append([
+            str(entry["series"]),
+            str(entry["status"]),
+            _format_value(float(entry["critical_voltage"])),
+            _format_value(float(entry["tolerance"])),
+            str(len(probes)),
+            str(sum(int(p.get("trials", 0)) for p in probes)),
+        ])
+    return rows
+
+
+def _pareto_rows(results: List[Mapping[str, Any]]) -> List[List[str]]:
+    rows = [["series", "voltage", "accuracy", "energy", "savings"]]
+    for entry in results:
+        for point in entry.get("frontier") or []:
+            rows.append([
+                str(entry["series"]),
+                _format_value(float(point["voltage"])),
+                _format_value(float(point["accuracy"])),
+                _format_value(float(point["energy"])),
+                _format_value(float(point["energy_savings"])),
+            ])
+    return rows
+
+
+def _rank_rows(race: Mapping[str, Any]) -> List[List[str]]:
+    last_score: dict = {}
+    for rung in race.get("rungs") or []:
+        for name, score in (rung.get("scores") or {}).items():
+            last_score[name] = (rung["rung"], score)
+    rows = [["rank", "recipe", "rung", "score"]]
+    for position, name in enumerate(race.get("ranking") or [], start=1):
+        rung, score = last_score.get(name, ("-", float("nan")))
+        rows.append([str(position), str(name), str(rung), _format_value(score)])
+    return rows
+
+
+def search_to_rows(summary: Mapping[str, Any]) -> List[List[str]]:
+    """Tabulate a search summary: header row then one row per finding.
+
+    Dispatches on ``summary["driver"]`` (``bisect`` / ``pareto`` /
+    ``rank``), consuming the same JSON shape ``scripts/run_search.py``
+    emits, so a saved summary file round-trips into a report.
+    """
+    driver = summary.get("driver")
+    if driver == "bisect":
+        return _bisect_rows(summary.get("results") or [])
+    if driver == "pareto":
+        return _pareto_rows(summary.get("results") or [])
+    if driver == "rank":
+        return _rank_rows(summary.get("race") or {})
+    raise ValueError(f"unknown search driver in summary: {driver!r}")
+
+
+def format_search_report(summary: Mapping[str, Any]) -> str:
+    """Render a search summary as an aligned text table."""
+    rows = search_to_rows(summary)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    title = f"search {summary.get('search', '?')} · driver {summary.get('driver')}"
+    if summary.get("kernel"):
+        title += f" · kernel {summary['kernel']}"
+    lines = [title]
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("-" * len(line))
+    stats = summary.get("stats") or {}
+    if stats:
+        lines.append(
+            f"probes: {stats.get('probes', 0)} "
+            f"({stats.get('computed', 0)} computed, "
+            f"{stats.get('reused', 0)} memo hits, "
+            f"{stats.get('trials_executed', 0)} trials executed)"
+        )
+    return "\n".join(lines)
+
+
+def save_search_report(
+    summary: Mapping[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write the rendered search report to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_search_report(summary) + "\n")
     return path

@@ -357,3 +357,64 @@ class TestPrune:
         report = store.prune(max_bytes=0)
         assert report.removed_count == 1
         assert store.load_shard(shard) is None
+
+
+class TestManifestRetention:
+    """Pruning must not GC manifests a --status query still needs.
+
+    Regression: ``prune_cache.py`` used to collect campaign manifests along
+    with shard artifacts, so ``run_campaign.py --status`` on a pruned store
+    answered "unknown campaign" (exit 2) instead of reporting the shards as
+    pending and recomputable.
+    """
+
+    def completed_campaign(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path, pool="serial")
+        campaign = runner.submit(make_sweep())
+        campaign.run()
+        return campaign
+
+    def test_prune_keeps_manifests_by_default(self, tmp_path):
+        campaign = self.completed_campaign(tmp_path)
+        report = prune_artifacts(tmp_path, max_bytes=0)
+        status = campaign_status(tmp_path, campaign.campaign_id)
+        assert status is not None, "manifest must survive a default prune"
+        assert status.shards_completed == 0
+        assert len(status.pending) == status.shards_total > 0
+        assert not status.done
+        manifest_paths = [str(p) for p in report.removed if "campaigns" in p]
+        assert manifest_paths == []
+
+    def test_pruned_shards_are_recomputable_after_status(self, tmp_path):
+        campaign = self.completed_campaign(tmp_path)
+        prune_artifacts(tmp_path, max_bytes=0)
+        resumed = CampaignRunner(store=tmp_path, pool="serial").submit(
+            make_sweep()
+        )
+        assert resumed.campaign_id == campaign.campaign_id
+        series = resumed.run()
+        assert resumed.stats["computed"] == len(resumed.shards)
+        assert series_digest(series) == series_digest(serial_reference())
+
+    def test_search_manifests_survive_too(self, tmp_path):
+        store = ShardStore(tmp_path)
+        store.store_search("feedc0de", {"driver": "bisect", "shards": []})
+        prune_artifacts(tmp_path, max_bytes=0)
+        assert store.load_search("feedc0de") is not None
+
+    def test_opting_out_removes_manifests(self, tmp_path):
+        campaign = self.completed_campaign(tmp_path)
+        prune_artifacts(tmp_path, max_bytes=0, keep_manifests=False)
+        assert campaign_status(tmp_path, campaign.campaign_id) is None
+
+    def test_kept_manifests_do_not_count_toward_size_budget(self, tmp_path):
+        self.completed_campaign(tmp_path)
+        shard_bytes = sum(
+            path.stat().st_size
+            for path in (tmp_path / "shards").glob("*.json")
+        )
+        # A budget that exactly fits the shards only holds because exempt
+        # manifests are left out of the size accounting.
+        report = prune_artifacts(tmp_path, max_bytes=shard_bytes)
+        assert report.removed_count == 0
+        assert report.kept_bytes == shard_bytes

@@ -4,7 +4,8 @@ CI trusts these scripts to turn red at the right moment:
 ``scripts/smoke_scenario_grid.py`` (executor bit-identity),
 ``scripts/check_bench_regression.py`` (perf trajectory),
 ``scripts/run_campaign.py`` (sharded campaigns: bit-identity, kill+resume),
-and ``scripts/prune_cache.py`` (store retention).  These tests pin the
+``scripts/run_search.py`` (search drivers: grid agreement, memoized
+resume), and ``scripts/prune_cache.py`` (store retention).  These tests pin the
 contract — a regression or mismatch yields a nonzero exit that *names the
 offense*, a clean run yields zero, deliberate campaign aborts yield the
 distinct code 3 — by driving the scripts' ``main()`` directly (tiny grids
@@ -334,6 +335,168 @@ class TestRunCampaign:
 
 
 @pytest.fixture(scope="module")
+def search_cli():
+    return load_script("run_search")
+
+
+def search_args(tmp_path, *extra):
+    return [
+        "--driver", "bisect", "--kernel", "sorting", "--iterations", "60",
+        "--series", "Base", "--tolerance", "0.05", "--trials", "2",
+        "--store", str(tmp_path / "store"), *extra,
+    ]
+
+
+class TestRunSearch:
+    def test_tiny_bisection_verifies_against_grid(self, search_cli, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        # Finer tolerance than the shared defaults: the probes-vs-grid
+        # advantage only shows once the matched grid is dense enough
+        # (argparse keeps the last --tolerance).
+        code = search_cli.main(
+            search_args(
+                tmp_path, "--tolerance", "0.01",
+                "--verify-grid", "--summary", str(summary_path)
+            )
+        )
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["verified"] is True
+        verdict = summary["verify"][0]
+        assert verdict["within_tolerance"] is True
+        probes = len(summary["results"][0]["probes"])
+        assert probes < verdict["grid_points"] / 3
+
+    def test_rerun_of_complete_search_computes_nothing(
+        self, search_cli, tmp_path
+    ):
+        summary_path = tmp_path / "summary.json"
+        assert search_cli.main(
+            search_args(tmp_path, "--summary", str(summary_path))
+        ) == 0
+        first = json.loads(summary_path.read_text())
+        assert search_cli.main(
+            search_args(
+                tmp_path,
+                "--resume", first["search"],
+                "--summary", str(summary_path),
+            )
+        ) == 0
+        rerun = json.loads(summary_path.read_text())
+        assert rerun["search"] == first["search"]
+        assert rerun["stats"]["computed"] == 0
+        assert rerun["stats"]["reused"] == first["stats"]["probes"]
+
+        def values_only(results):
+            return [
+                {**entry,
+                 "probes": [
+                     {k: v for k, v in probe.items() if k != "reused"}
+                     for probe in entry["probes"]
+                 ]}
+                for entry in results
+            ]
+
+        assert values_only(rerun["results"]) == values_only(first["results"])
+        assert all(
+            probe["reused"]
+            for entry in rerun["results"] for probe in entry["probes"]
+        )
+
+    def test_kill_then_resume_reuses_computed_probes(
+        self, search_cli, tmp_path
+    ):
+        summary_path = tmp_path / "summary.json"
+        code = search_cli.main(
+            search_args(
+                tmp_path, "--fail-after", "2", "--summary", str(summary_path)
+            )
+        )
+        assert code == 3
+        aborted = json.loads(summary_path.read_text())
+        assert aborted["probes_computed"] == 2
+        code = search_cli.main(
+            search_args(
+                tmp_path,
+                "--resume", aborted["search"],
+                "--summary", str(summary_path),
+            )
+        )
+        assert code == 0
+        resumed = json.loads(summary_path.read_text())
+        assert resumed["search"] == aborted["search"]
+        assert resumed["stats"]["reused"] >= 2
+
+    def test_resume_id_mismatch_is_usage_error(
+        self, search_cli, tmp_path, capsys
+    ):
+        code = search_cli.main(
+            search_args(tmp_path, "--resume", "feedfacefeedface")
+        )
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_status_of_unknown_search_is_usage_error(
+        self, search_cli, tmp_path
+    ):
+        code = search_cli.main(
+            ["--store", str(tmp_path / "store"), "--status", "feedfacefeedface"]
+        )
+        assert code == 2
+
+    def test_status_reports_pruned_probes_as_pending(
+        self, search_cli, prune_cli, tmp_path, capsys
+    ):
+        summary_path = tmp_path / "summary.json"
+        assert search_cli.main(
+            search_args(tmp_path, "--summary", str(summary_path))
+        ) == 0
+        sid = json.loads(summary_path.read_text())["search"]
+        capsys.readouterr()
+        assert search_cli.main(
+            ["--store", str(tmp_path / "store"), "--status", sid]
+        ) == 0
+        done = json.loads(capsys.readouterr().out)
+        assert done["done"] is True and done["probes_pending"] == 0
+        # Prune the shards; the manifest must survive and report pending.
+        assert prune_cli.main(
+            [str(tmp_path / "store"), "--max-bytes", "0"]
+        ) == 0
+        capsys.readouterr()
+        assert search_cli.main(
+            ["--store", str(tmp_path / "store"), "--status", sid]
+        ) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert pruned["done"] is False
+        assert pruned["probes_pending"] == pruned["probes_recorded"] > 0
+
+    def test_verify_grid_with_wrong_driver_is_usage_error(
+        self, search_cli, tmp_path, capsys
+    ):
+        code = search_cli.main(
+            ["--driver", "pareto", "--verify-grid",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "--verify-grid" in capsys.readouterr().err
+
+    def test_unknown_kernel_is_usage_error(self, search_cli, tmp_path, capsys):
+        code = search_cli.main(
+            ["--kernel", "no-such-kernel", "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "sorting" in capsys.readouterr().err
+
+    def test_unknown_series_is_usage_error(self, search_cli, tmp_path, capsys):
+        code = search_cli.main(
+            ["--kernel", "sorting", "--series", "NoSuchSeries",
+             "--iterations", "60", "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "NoSuchSeries" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
 def prune_cli():
     return load_script("prune_cache")
 
@@ -360,3 +523,14 @@ class TestPruneCache:
         assert artifact.exists()
         assert prune_cli.main([str(tmp_path), "--max-bytes", "0"]) == 0
         assert not artifact.exists()
+
+    def test_prune_manifests_is_opt_in(self, prune_cli, tmp_path):
+        manifest = tmp_path / "campaigns" / "cafe.json"
+        manifest.parent.mkdir(parents=True)
+        manifest.write_text("{}")
+        assert prune_cli.main([str(tmp_path), "--max-bytes", "0"]) == 0
+        assert manifest.exists(), "manifests survive a default prune"
+        assert prune_cli.main(
+            [str(tmp_path), "--max-bytes", "0", "--prune-manifests"]
+        ) == 0
+        assert not manifest.exists()
